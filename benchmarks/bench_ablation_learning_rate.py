@@ -1,0 +1,55 @@
+"""Ablation: the cross-agent term of the learning-rate function (Eq. 3).
+
+The paper argues (Sec. IV-B) that the second term of Eq. 3 — which keeps the
+learning rate high until the *other* agents have tried all of their actions —
+prevents an agent from prematurely declaring its exploration finished.  This
+ablation runs MAMUT on the same workload with the paper's learning rate
+(beta' = 0.2) and with the conventional visit-count-only learning rate
+(beta' = 0), and reports QoS and power for both.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MamutConfig
+from repro.core.learning_rate import LearningRateParameters
+from repro.core.mamut import MamutController
+from repro.manager.runner import ExperimentRunner
+from repro.manager.scenario import scenario_one
+from repro.metrics.report import format_table
+
+
+def _factory(beta_prime: float):
+    def build(request, seed):
+        config = MamutConfig.for_request(request, seed=seed)
+        config.learning_rate = LearningRateParameters(beta_prime=beta_prime)
+        return MamutController(config)
+
+    return build
+
+
+def _run_ablation():
+    specs = scenario_one(1, 1, num_frames=240, seed=0)
+    runner = ExperimentRunner(seed=0)
+    return runner.compare(
+        {
+            "Eq.3 (beta'=0.2)": _factory(0.2),
+            "visit-count only (beta'=0)": _factory(0.0),
+        },
+        specs,
+        repetitions=2,
+        warmup_videos=1,
+    )
+
+
+def test_ablation_learning_rate(run_once):
+    results = run_once(_run_ablation)
+
+    rows = [
+        [label, r.qos_violation_pct, r.mean_power_w, r.mean_fps]
+        for label, r in results.items()
+    ]
+    print("\nAblation — learning-rate function (1HR + 1LR, Scenario I)")
+    print(format_table(["learning rate", "Δ (%)", "Power (W)", "FPS"], rows))
+
+    assert set(results) == {"Eq.3 (beta'=0.2)", "visit-count only (beta'=0)"}
+    assert all(0.0 <= r.qos_violation_pct <= 100.0 for r in results.values())

@@ -1,0 +1,48 @@
+"""Ablation: sensitivity to the server power cap.
+
+The power cap only enters MAMUT through the binary power state and the -4
+constraint penalty.  This ablation sweeps the cap and checks that a tighter
+cap pulls the average package power down (at some QoS cost), while a loose cap
+leaves the controller free to spend power on throughput.
+"""
+
+from __future__ import annotations
+
+from repro.manager.factories import mamut_factory
+from repro.manager.runner import ExperimentRunner
+from repro.manager.scenario import scenario_one
+from repro.metrics.report import format_table
+
+POWER_CAPS_W = (95.0, 110.0, 130.0)
+
+
+def _run_sweep():
+    results = {}
+    for cap in POWER_CAPS_W:
+        specs = scenario_one(2, 2, num_frames=180, seed=0)
+        runner = ExperimentRunner(power_cap_w=cap, seed=0)
+        results[cap] = runner.run(
+            f"cap={cap:.0f}W",
+            mamut_factory(power_cap_w=cap),
+            specs,
+            repetitions=1,
+            warmup_videos=1,
+        )
+    return results
+
+
+def test_ablation_power_cap(run_once):
+    results = run_once(_run_sweep)
+
+    rows = [
+        [f"{cap:.0f}", r.mean_power_w, r.qos_violation_pct, r.mean_frequency_ghz]
+        for cap, r in results.items()
+    ]
+    print("\nAblation — power-cap sweep (2HR + 2LR, MAMUT)")
+    print(format_table(["cap (W)", "Power (W)", "Δ (%)", "Freq (GHz)"], rows))
+
+    assert len(results) == len(POWER_CAPS_W)
+    tight = results[POWER_CAPS_W[0]]
+    loose = results[POWER_CAPS_W[-1]]
+    # A tighter cap must not increase the average power draw.
+    assert tight.mean_power_w <= loose.mean_power_w + 3.0

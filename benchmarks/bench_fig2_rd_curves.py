@@ -1,0 +1,43 @@
+"""Figure 2: RD curves and power/FPS characterisation of the HEVC encoder.
+
+Paper reference: Fig. 2 — PSNR vs. output bandwidth and power vs. FPS for a
+1080p video encoded with Kvazaar's ultrafast preset at 3.2 GHz, sweeping the
+number of WPP threads (1, 2, 4, 6, 8, 10) and QP (22, 27, 32, 37).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import fig2_characterization
+from repro.metrics.report import format_table
+
+
+def test_fig2_rd_curves(run_once):
+    points = run_once(
+        fig2_characterization,
+        thread_counts=(1, 2, 4, 6, 8, 10),
+        qp_values=(22, 27, 32, 37),
+        frequency_ghz=3.2,
+        num_frames=24,
+    )
+
+    rows = [
+        [p.threads, p.qp, p.fps, p.power_w, p.psnr_db, p.bandwidth_mbytes_per_s]
+        for p in points
+    ]
+    print("\nFigure 2 — threads x QP characterisation (1080p, ultrafast, 3.2 GHz)")
+    print(
+        format_table(
+            ["threads", "QP", "FPS", "Power (W)", "PSNR (dB)", "BW (MB/s)"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+
+    by_config = {(p.threads, p.qp): p for p in points}
+    # Shape checks mirroring the figure: FPS grows with threads and QP,
+    # PSNR/bandwidth fall with QP, power grows with threads.
+    assert by_config[(10, 37)].fps > by_config[(1, 37)].fps
+    assert by_config[(10, 37)].fps > by_config[(10, 22)].fps
+    assert by_config[(1, 22)].psnr_db > by_config[(1, 37)].psnr_db
+    assert by_config[(1, 22)].bandwidth_mbytes_per_s > by_config[(1, 37)].bandwidth_mbytes_per_s
+    assert by_config[(10, 22)].power_w > by_config[(1, 22)].power_w

@@ -1,0 +1,51 @@
+"""Figure 5: detailed execution trace of MAMUT on one HR video.
+
+Paper reference: Fig. 5 — per-frame FPS, PSNR, QP, threads and frequency for
+MAMUT encoding a single 1080p video over ~500 frames.  The trace includes the
+learning transient at the beginning (as in the paper, where FPS dips early
+before the agents settle).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.figures import fig5_trace
+from repro.metrics.report import format_table
+
+
+def test_fig5_trace(run_once):
+    trace = run_once(fig5_trace, sequence_name="Cactus", num_frames=500)
+
+    window = 50
+    rows = []
+    for start in range(0, 500, window):
+        sl = slice(start, start + window)
+        rows.append(
+            [
+                f"{start}-{start + window}",
+                statistics.mean(trace["fps"][sl]),
+                statistics.mean(trace["psnr_db"][sl]),
+                statistics.mean(trace["qp"][sl]),
+                statistics.mean(trace["threads"][sl]),
+                statistics.mean(trace["frequency_ghz"][sl]),
+            ]
+        )
+    print("\nFigure 5 — MAMUT trace on one HR video (50-frame window means)")
+    print(
+        format_table(
+            ["frames", "FPS", "PSNR (dB)", "QP", "threads", "freq (GHz)"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+
+    assert len(trace["fps"]) == 500
+    # Shape checks mirroring the figure: the second half of the trace is
+    # better behaved than the first (learning), threads sit in the upper part
+    # of the range, frequency keeps adapting within the DVFS set.
+    first_violations = sum(1 for f in trace["fps"][:250] if f < 24.0)
+    second_violations = sum(1 for f in trace["fps"][250:] if f < 24.0)
+    assert second_violations <= first_violations
+    assert 1.6 <= statistics.mean(trace["frequency_ghz"][250:]) <= 3.2
+    assert statistics.mean(trace["threads"][250:]) >= 4.0

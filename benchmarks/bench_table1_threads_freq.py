@@ -1,0 +1,41 @@
+"""Table I: average number of threads and frequency per controller.
+
+Paper reference: Table I — average threads and frequency used for HR and LR
+videos by the multi-agent (MAMUT), mono-agent and heuristic controllers.  The
+expected shape: the heuristic pins the frequency near the maximum and uses
+fewer threads, while the learning controllers use more threads at lower
+frequency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import table1_threads_frequency
+from repro.metrics.report import format_table
+
+
+def test_table1_threads_frequency(run_once):
+    rows = run_once(
+        table1_threads_frequency,
+        num_hr=2,
+        num_lr=2,
+        num_frames=360,
+        repetitions=2,
+        warmup_videos=2,
+    )
+
+    table = [[r.controller, r.resolution_class, r.mean_threads, r.mean_frequency_ghz] for r in rows]
+    print("\nTable I — average threads and frequency (2HR + 2LR, Scenario I)")
+    print(format_table(["controller", "class", "Nth", "Freq (GHz)"], table, "{:.2f}"))
+
+    by_key = {(r.controller, r.resolution_class): r for r in rows}
+    assert set(by_key) == {
+        (c, rc) for c in ("Heuristic", "MonoAgent", "MAMUT") for rc in ("HR", "LR")
+    }
+    # HR videos need more threads than LR videos for every controller.
+    for controller in ("Heuristic", "MonoAgent", "MAMUT"):
+        assert by_key[(controller, "HR")].mean_threads > by_key[(controller, "LR")].mean_threads
+    # The heuristic runs at least as high a frequency as MAMUT (Table I shape).
+    assert (
+        by_key[("Heuristic", "HR")].mean_frequency_ghz
+        >= by_key[("MAMUT", "HR")].mean_frequency_ghz - 0.05
+    )

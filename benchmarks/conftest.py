@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series (run pytest with ``-s`` to see them).  The
+pytest-benchmark fixture is used with a single round so the timing reflects
+one full regeneration of the experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a regeneration function exactly once under the benchmark fixture."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

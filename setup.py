@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` keeps working on offline environments
+where the ``wheel`` package (required for PEP 660 editable installs) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Analysis: regeneration of the paper's figures and tables.
+
+Each function returns plain Python data (lists of dicts / dataclasses) so the
+benchmarks can print the same rows and series the paper reports without any
+plotting dependency.
+"""
+
+from repro.analysis.figures import (
+    Fig2Point,
+    fig2_characterization,
+    fig5_trace,
+)
+from repro.analysis.tables import (
+    Fig4Row,
+    Table1Row,
+    Table2Row,
+    fig4_scenario_one_sweep,
+    table1_threads_frequency,
+    table2_scenario_two,
+)
+
+__all__ = [
+    "Fig2Point",
+    "fig2_characterization",
+    "fig5_trace",
+    "Fig4Row",
+    "Table1Row",
+    "Table2Row",
+    "fig4_scenario_one_sweep",
+    "table1_threads_frequency",
+    "table2_scenario_two",
+]

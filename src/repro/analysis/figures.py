@@ -1,0 +1,129 @@
+"""Regeneration of the paper's figures (data series, no plotting).
+
+* **Fig. 2** — RD curves (PSNR vs. output bandwidth) plus power vs. FPS for
+  a 1080p video encoded with the ultrafast preset at 3.2 GHz, sweeping the
+  number of threads and QP.
+* **Fig. 5** — detailed execution trace of MAMUT encoding one HR video: FPS,
+  PSNR, QP, threads and frequency over the frames of the sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.baselines.static import StaticController
+from repro.constants import DEFAULT_POWER_CAP_W
+from repro.platform.dvfs import DvfsPolicy
+from repro.core.config import MamutConfig
+from repro.core.mamut import MamutController
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.session import TranscodingSession
+from repro.platform.server import MulticoreServer
+from repro.video.catalog import make_sequence
+from repro.video.request import TranscodingRequest
+
+__all__ = ["Fig2Point", "fig2_characterization", "fig5_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig2Point:
+    """One configuration point of the Fig. 2 characterisation sweep.
+
+    Attributes
+    ----------
+    threads, qp:
+        Swept configuration.
+    fps:
+        Average throughput achieved.
+    power_w:
+        Average package power.
+    psnr_db:
+        Average PSNR.
+    bandwidth_mbytes_per_s:
+        Average output bandwidth in MBytes/s (Fig. 2's RD-curve x-axis).
+    """
+
+    threads: int
+    qp: int
+    fps: float
+    power_w: float
+    psnr_db: float
+    bandwidth_mbytes_per_s: float
+
+
+def fig2_characterization(
+    thread_counts: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    qp_values: Sequence[int] = (22, 27, 32, 37),
+    frequency_ghz: float = 3.2,
+    sequence_name: str = "Cactus",
+    num_frames: int = 48,
+    seed: int = 0,
+) -> list[Fig2Point]:
+    """Static sweep of threads x QP for one HR video (paper Fig. 2).
+
+    Each configuration is run as its own single-session experiment with a
+    fixed-configuration controller; the returned points carry the averages
+    over ``num_frames`` frames.
+    """
+    points: list[Fig2Point] = []
+    for threads in thread_counts:
+        for qp in qp_values:
+            sequence = make_sequence(sequence_name, num_frames=num_frames, seed=seed)
+            request = TranscodingRequest(user_id="fig2", sequence=sequence)
+            controller = StaticController(
+                qp=qp,
+                threads=threads,
+                frequency_ghz=frequency_ghz,
+                # The characterisation sweep pins only the encoding cores at
+                # the target frequency; unused cores stay parked, as with the
+                # per-core DVFS setup the paper characterises.
+                dvfs_policy=DvfsPolicy.PER_CORE,
+            )
+            session = TranscodingSession(request=request, controller=controller)
+            result = Orchestrator([session], server=MulticoreServer()).run()
+            summary = result.summary()
+            session_summary = summary.sessions["fig2"]
+            points.append(
+                Fig2Point(
+                    threads=threads,
+                    qp=qp,
+                    fps=session_summary.mean_fps,
+                    power_w=summary.mean_power_w,
+                    psnr_db=session_summary.mean_psnr_db,
+                    bandwidth_mbytes_per_s=session_summary.mean_bitrate_mbps / 8.0,
+                )
+            )
+    return points
+
+
+def fig5_trace(
+    sequence_name: str = "Cactus",
+    num_frames: int = 500,
+    power_cap_w: float = DEFAULT_POWER_CAP_W,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Execution trace of MAMUT on one HR video (paper Fig. 5).
+
+    Returns one series per sub-plot of the figure: per-frame FPS, PSNR, QP,
+    thread count and frequency (plus the frame index).
+    """
+    sequence = make_sequence(sequence_name, num_frames=num_frames, seed=seed)
+    request = TranscodingRequest(user_id="fig5", sequence=sequence)
+    config = MamutConfig.for_request(
+        request, power_cap_w=power_cap_w, seed=seed, record_history=True
+    )
+    controller = MamutController(config)
+    session = TranscodingSession(request=request, controller=controller)
+    result = Orchestrator([session], server=MulticoreServer()).run()
+
+    records = result.records_by_session["fig5"]
+    return {
+        "frame": [float(r.step) for r in records],
+        "fps": [r.fps for r in records],
+        "psnr_db": [r.psnr_db for r in records],
+        "qp": [float(r.qp) for r in records],
+        "threads": [float(r.threads) for r in records],
+        "frequency_ghz": [r.frequency_ghz for r in records],
+        "power_w": [r.power_w for r in records],
+    }

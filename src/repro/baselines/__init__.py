@@ -1,0 +1,23 @@
+"""Baseline controllers the paper compares MAMUT against.
+
+* :class:`~repro.baselines.monoagent.MonoAgentController` — the adapted
+  mono-agent Q-learning approach of [8]: a single agent over a coarsened
+  joint (QP, threads, frequency) action space, acting every 6 frames.
+* :class:`~repro.baselines.heuristic.HeuristicController` — the adaptive
+  workload-management heuristic of [19]: threads target FPS, QP targets
+  PSNR under the bandwidth constraint, DVFS reacts to the power cap.
+* :class:`~repro.baselines.static.StaticController` — a fixed configuration,
+  useful as a sanity baseline and for the Fig. 2 characterisation sweeps.
+"""
+
+from repro.baselines.monoagent import MonoAgentConfig, MonoAgentController
+from repro.baselines.heuristic import HeuristicConfig, HeuristicController
+from repro.baselines.static import StaticController
+
+__all__ = [
+    "MonoAgentConfig",
+    "MonoAgentController",
+    "HeuristicConfig",
+    "HeuristicController",
+    "StaticController",
+]

@@ -1,0 +1,218 @@
+"""Command-line interface for the MAMUT reproduction.
+
+Provides quick access to the main experiments without writing Python::
+
+    repro-mamut quickstart --frames 600
+    repro-mamut compare --hr 1 --lr 1 --frames 360
+    repro-mamut fig2
+    repro-mamut fig5 --frames 500
+    repro-mamut table1
+    repro-mamut table2 --mixes 1x1,2x2,3x3
+
+(Equivalently: ``python -m repro.cli <command> ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import fig2_characterization, fig5_trace
+from repro.analysis.tables import (
+    fig4_scenario_one_sweep,
+    table1_threads_frequency,
+    table2_scenario_two,
+)
+from repro.constants import DEFAULT_POWER_CAP_W
+from repro.core.config import MamutConfig
+from repro.core.mamut import MamutController
+from repro.manager.factories import heuristic_factory, mamut_factory, monoagent_factory
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.runner import ExperimentRunner
+from repro.manager.scenario import scenario_one
+from repro.manager.session import TranscodingSession
+from repro.metrics.report import format_table
+from repro.video.catalog import make_sequence
+from repro.video.request import TranscodingRequest
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mamut",
+        description="MAMUT (DATE 2019) reproduction: experiments from the command line.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--power-cap", type=float, default=DEFAULT_POWER_CAP_W, help="server power cap (W)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser("quickstart", help="one HR video under MAMUT control")
+    quickstart.add_argument("--frames", type=int, default=600)
+    quickstart.add_argument("--sequence", default="Cactus")
+
+    compare = subparsers.add_parser("compare", help="compare MAMUT against the baselines")
+    compare.add_argument("--hr", type=int, default=1, help="number of HR videos")
+    compare.add_argument("--lr", type=int, default=1, help="number of LR videos")
+    compare.add_argument("--frames", type=int, default=240)
+    compare.add_argument("--repetitions", type=int, default=1)
+    compare.add_argument("--warmup-videos", type=int, default=1)
+
+    fig2 = subparsers.add_parser("fig2", help="regenerate the Fig. 2 characterisation")
+    fig2.add_argument("--frames", type=int, default=24)
+
+    fig4 = subparsers.add_parser("fig4", help="regenerate the Fig. 4 Scenario I sweep")
+    fig4.add_argument("--frames", type=int, default=120)
+    fig4.add_argument("--warmup-videos", type=int, default=1)
+
+    fig5 = subparsers.add_parser("fig5", help="regenerate the Fig. 5 MAMUT trace")
+    fig5.add_argument("--frames", type=int, default=500)
+    fig5.add_argument("--sequence", default="Cactus")
+
+    subparsers.add_parser("table1", help="regenerate Table I (threads / frequency)")
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table II (Scenario II)")
+    table2.add_argument(
+        "--mixes",
+        default="1x1,2x2,3x3",
+        help="comma-separated HRxLR mixes, e.g. 1x1,2x3",
+    )
+    table2.add_argument("--frames-per-video", type=int, default=96)
+    table2.add_argument("--warmup-videos", type=int, default=3)
+
+    return parser
+
+
+def _parse_mixes(text: str) -> list[tuple[int, int]]:
+    mixes = []
+    for chunk in text.split(","):
+        hr, _, lr = chunk.strip().partition("x")
+        mixes.append((int(hr), int(lr)))
+    return mixes
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> None:
+    sequence = make_sequence(args.sequence, num_frames=args.frames, seed=args.seed)
+    request = TranscodingRequest(user_id="cli", sequence=sequence)
+    controller = MamutController(
+        MamutConfig.for_request(request, power_cap_w=args.power_cap, seed=args.seed)
+    )
+    summary = Orchestrator([TranscodingSession(request, controller)]).run().summary()
+    session = summary.sessions["cli"]
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["frames", session.frames],
+                ["mean FPS", session.mean_fps],
+                ["QoS violations (%)", session.qos_violation_pct],
+                ["mean PSNR (dB)", session.mean_psnr_db],
+                ["mean power (W)", summary.mean_power_w],
+            ],
+            float_format="{:.2f}",
+        )
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    specs = scenario_one(args.hr, args.lr, num_frames=args.frames, seed=args.seed)
+    runner = ExperimentRunner(power_cap_w=args.power_cap, seed=args.seed)
+    results = runner.compare(
+        {
+            "Heuristic": heuristic_factory(args.power_cap),
+            "MonoAgent": monoagent_factory(args.power_cap),
+            "MAMUT": mamut_factory(args.power_cap),
+        },
+        specs,
+        repetitions=args.repetitions,
+        warmup_videos=args.warmup_videos,
+    )
+    rows = [
+        [label, r.qos_violation_pct, r.mean_power_w, r.mean_fps, r.mean_threads, r.mean_frequency_ghz]
+        for label, r in results.items()
+    ]
+    print(format_table(["controller", "Δ (%)", "Power (W)", "FPS", "Nth", "Freq (GHz)"], rows))
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    points = fig2_characterization(num_frames=args.frames, seed=args.seed)
+    rows = [
+        [p.threads, p.qp, p.fps, p.power_w, p.psnr_db, p.bandwidth_mbytes_per_s]
+        for p in points
+    ]
+    print(format_table(["threads", "QP", "FPS", "Power (W)", "PSNR", "BW (MB/s)"], rows, "{:.2f}"))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    rows = fig4_scenario_one_sweep(
+        num_frames=args.frames,
+        warmup_videos=args.warmup_videos,
+        power_cap_w=args.power_cap,
+        seed=args.seed,
+    )
+    table = [[r.workload, r.controller, r.qos_violation_pct, r.power_w] for r in rows]
+    print(format_table(["workload", "controller", "Δ (%)", "Power (W)"], table))
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    trace = fig5_trace(
+        sequence_name=args.sequence,
+        num_frames=args.frames,
+        power_cap_w=args.power_cap,
+        seed=args.seed,
+    )
+    rows = [
+        [int(frame), fps, qp, threads, freq]
+        for frame, fps, qp, threads, freq in zip(
+            trace["frame"], trace["fps"], trace["qp"], trace["threads"], trace["frequency_ghz"]
+        )
+    ][:: max(1, args.frames // 25)]
+    print(format_table(["frame", "FPS", "QP", "threads", "freq (GHz)"], rows, "{:.2f}"))
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = table1_threads_frequency(power_cap_w=args.power_cap, seed=args.seed)
+    table = [[r.controller, r.resolution_class, r.mean_threads, r.mean_frequency_ghz] for r in rows]
+    print(format_table(["controller", "class", "Nth", "Freq (GHz)"], table, "{:.2f}"))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    rows = table2_scenario_two(
+        mixes=_parse_mixes(args.mixes),
+        frames_per_video=args.frames_per_video,
+        warmup_videos=args.warmup_videos,
+        power_cap_w=args.power_cap,
+        seed=args.seed,
+    )
+    table = [
+        [r.workload, r.controller, r.power_w, r.mean_threads, r.mean_fps, r.qos_violation_pct]
+        for r in rows
+    ]
+    print(format_table(["mix", "controller", "Watts", "Nth", "FPS", "Δ (%)"], table))
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "compare": _cmd_compare,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Constants shared across the MAMUT reproduction.
+
+The values in this module mirror the experimental setup reported in the paper
+(Section III and Section V-A):
+
+* QP values explored by ``AGqp``: 22, 25, 27, 29, 32, 35, 37.
+* Frequencies explored by ``AGdvfs``: 1.6, 1.9, 2.3, 2.6, 2.9, 3.2 GHz
+  (the platform supports 1.2-3.2 GHz, but below 1.6 GHz real-time transcoding
+  is not achievable and those points are discarded).
+* Thread saturation: 12 threads for a 1080p (HR) video, 5 threads for an
+  832x480 (LR) video.
+* Target frame rate: 24 FPS.
+* Agent periods: AGqp every 24 frames (offset 0), AGthread every 12 frames
+  (offset 1), AGdvfs every 6 frames (offset 2).
+"""
+
+from __future__ import annotations
+
+#: Quantization Parameter values available to the QP agent (paper Sec. III-B-a).
+QP_VALUES: tuple[int, ...] = (22, 25, 27, 29, 32, 35, 37)
+
+#: Frequencies (GHz) available to the DVFS agent (paper Sec. III-B-c).
+DVFS_VALUES_GHZ: tuple[float, ...] = (1.6, 1.9, 2.3, 2.6, 2.9, 3.2)
+
+#: Full platform frequency range (GHz), including points discarded by MAMUT.
+PLATFORM_MIN_FREQ_GHZ: float = 1.2
+PLATFORM_MAX_FREQ_GHZ: float = 3.2
+
+#: Thread saturation points observed on the target platform (paper Sec. V-A).
+HR_MAX_THREADS: int = 12
+LR_MAX_THREADS: int = 5
+
+#: Target frame rate used for QoS accounting (paper Sec. III-C).
+TARGET_FPS: float = 24.0
+
+#: Agent activation periods and offsets, in frames (paper Sec. III-B-d).
+QP_AGENT_PERIOD: int = 24
+QP_AGENT_OFFSET: int = 0
+THREAD_AGENT_PERIOD: int = 12
+THREAD_AGENT_OFFSET: int = 1
+DVFS_AGENT_PERIOD: int = 6
+DVFS_AGENT_OFFSET: int = 2
+
+#: PSNR range considered acceptable for 8-bit lossy compression (paper Sec. III-C).
+PSNR_MIN_DB: float = 30.0
+PSNR_MAX_DB: float = 50.0
+
+#: Bitrate state boundaries in Mbit/s (paper Sec. III-C, 3G bandwidth bands).
+BITRATE_STATE_BOUNDS_MBPS: tuple[float, float] = (3.0, 6.0)
+
+#: Default reinforcement-learning hyper-parameters (paper Sec. IV-B).
+DEFAULT_BETA: float = 0.3
+DEFAULT_BETA_PRIME: float = 0.2
+DEFAULT_ALPHA_TH1: float = 0.1
+DEFAULT_ALPHA_TH2: float = 0.05
+DEFAULT_GAMMA: float = 0.6
+
+#: Resolutions used in the evaluation (paper Sec. V-A).
+HR_RESOLUTION: tuple[int, int] = (1920, 1080)
+LR_RESOLUTION: tuple[int, int] = (832, 480)
+
+#: HEVC Coding Tree Unit size used for Wavefront Parallel Processing rows.
+CTU_SIZE: int = 64
+
+#: Default server power cap in Watts used for the power state/constraint.
+DEFAULT_POWER_CAP_W: float = 120.0
+
+#: Default per-user bandwidth cap in Mbit/s (upper bitrate state boundary).
+DEFAULT_BANDWIDTH_MBPS: float = 6.0

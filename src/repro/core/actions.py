@@ -1,0 +1,141 @@
+"""Action sets: the design-space subsets owned by each agent (Sec. III-B).
+
+MAMUT decomposes the joint design space (QP x threads x frequency) into three
+disjoint subsets, one per agent.  An :class:`ActionSet` is an ordered,
+immutable collection of values; agents address actions by index, which keeps
+Q-tables and counters independent of the value types.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Sequence, TypeVar
+
+from repro.constants import (
+    DVFS_VALUES_GHZ,
+    HR_MAX_THREADS,
+    LR_MAX_THREADS,
+    QP_VALUES,
+)
+from repro.errors import ConfigurationError
+from repro.video.sequence import ResolutionClass
+
+__all__ = [
+    "ActionSet",
+    "default_qp_actions",
+    "default_thread_actions",
+    "default_dvfs_actions",
+]
+
+T = TypeVar("T")
+
+
+class ActionSet(Generic[T]):
+    """An ordered, immutable set of actions available to one agent.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name of the parameter the set controls (``"qp"``,
+        ``"threads"``, ``"dvfs"`` ...).
+    values:
+        The candidate values, in a meaningful order (ascending for numeric
+        parameters); duplicates are rejected.
+    """
+
+    def __init__(self, name: str, values: Sequence[T]) -> None:
+        values = tuple(values)
+        if not values:
+            raise ConfigurationError(f"action set {name!r} must not be empty")
+        if len(set(values)) != len(values):
+            raise ConfigurationError(f"action set {name!r} contains duplicate values")
+        self.name = name
+        self._values = values
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._values
+
+    def __getitem__(self, index: int) -> T:
+        return self._values[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActionSet({self.name!r}, {list(self._values)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActionSet):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._values))
+
+    # -- helpers -------------------------------------------------------------------
+
+    @property
+    def values(self) -> tuple[T, ...]:
+        """The action values in order."""
+        return self._values
+
+    def index_of(self, value: T) -> int:
+        """Index of a value, raising :class:`ConfigurationError` if unknown."""
+        try:
+            return self._values.index(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"value {value!r} is not in action set {self.name!r}"
+            ) from None
+
+    def clamp_index(self, index: int) -> int:
+        """Clamp an arbitrary integer to a valid action index."""
+        return max(0, min(len(self._values) - 1, index))
+
+    def closest_index(self, value: float) -> int:
+        """Index of the numerically closest action (numeric sets only)."""
+        return min(
+            range(len(self._values)),
+            key=lambda i: abs(float(self._values[i]) - float(value)),
+        )
+
+    def indices(self) -> range:
+        """Range over all valid action indices."""
+        return range(len(self._values))
+
+
+def default_qp_actions() -> ActionSet[int]:
+    """QP values explored by ``AGqp`` (paper Sec. III-B-a)."""
+    return ActionSet("qp", QP_VALUES)
+
+
+def default_thread_actions(
+    resolution_class: ResolutionClass | None = None,
+    max_threads: int | None = None,
+) -> ActionSet[int]:
+    """Thread counts explored by ``AGthread``.
+
+    The paper limits the thread count to the saturation point of the video's
+    resolution: 12 threads for HR and 5 for LR (Sec. V-A).  Either pass the
+    resolution class, or an explicit ``max_threads``.
+    """
+    if max_threads is None:
+        if resolution_class is None:
+            raise ConfigurationError(
+                "either resolution_class or max_threads must be provided"
+            )
+        max_threads = (
+            HR_MAX_THREADS if resolution_class is ResolutionClass.HR else LR_MAX_THREADS
+        )
+    if max_threads < 1:
+        raise ConfigurationError(f"max_threads must be >= 1, got {max_threads}")
+    return ActionSet("threads", tuple(range(1, max_threads + 1)))
+
+
+def default_dvfs_actions() -> ActionSet[float]:
+    """Frequencies explored by ``AGdvfs`` (paper Sec. III-B-c)."""
+    return ActionSet("dvfs", DVFS_VALUES_GHZ)

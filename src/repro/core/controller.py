@@ -1,0 +1,84 @@
+"""Controller interface shared by MAMUT and the baseline approaches.
+
+A *controller* manages exactly one transcoding session: once per frame the
+session asks it for a :class:`Decision` (QP, threads, frequency), handing it
+the :class:`~repro.core.observation.Observation` produced by the previous
+frame.  MAMUT, the mono-agent Q-learning baseline, the heuristic baseline and
+the static baseline all implement this interface, which is what lets the
+experiment runner compare them on identical scenarios.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+from repro.core.observation import Observation
+from repro.errors import ConfigurationError
+from repro.platform.dvfs import DvfsPolicy
+
+__all__ = ["Decision", "Controller"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """Configuration applied to the next frame of a session.
+
+    Attributes
+    ----------
+    qp:
+        Quantization Parameter for the encoder.
+    threads:
+        Number of WPP threads to encode the frame with.
+    frequency_ghz:
+        Operating frequency of the session's cores.
+    """
+
+    qp: int
+    threads: int
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {self.threads}")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError(
+                f"frequency_ghz must be positive, got {self.frequency_ghz}"
+            )
+
+
+class Controller(abc.ABC):
+    """Run-time manager of a single transcoding session."""
+
+    #: How this controller's frequency decisions are applied to the package.
+    #: Learning controllers use per-core DVFS; the heuristic baseline applies
+    #: its frequency chip-wide (see repro.platform.dvfs.DvfsPolicy).
+    dvfs_policy: DvfsPolicy = DvfsPolicy.PER_CORE
+
+    @abc.abstractmethod
+    def decide(self, frame_index: int, observation: Optional[Observation]) -> Decision:
+        """Choose the configuration for frame ``frame_index``.
+
+        Parameters
+        ----------
+        frame_index:
+            Index of the frame about to be transcoded.
+        observation:
+            Measurements produced by the previous frame, or ``None`` for the
+            very first frame of the session.
+        """
+
+    def reset(self) -> None:
+        """Forget per-video transient state (called between videos).
+
+        Learned knowledge (Q-tables, transition counts) survives a reset so
+        that a controller keeps improving across the videos of a Scenario II
+        batch; only the per-frame bookkeeping is cleared.  The default is a
+        no-op.
+        """
+
+    @property
+    def name(self) -> str:
+        """Human-readable controller name (defaults to the class name)."""
+        return type(self).__name__

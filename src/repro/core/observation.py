@@ -1,0 +1,65 @@
+"""Observations: the raw quantities the agents see after each frame.
+
+The environment exposes exactly the four quantities listed in the paper's
+Fig. 1 and Sec. III-C: throughput (FPS), video quality (PSNR), output bitrate
+and package power.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.errors import LearningError
+
+__all__ = ["Observation", "average_observations"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Observation:
+    """Raw per-frame measurements observed by every agent.
+
+    Attributes
+    ----------
+    fps:
+        Instantaneous throughput of the session (frames per second).
+    psnr_db:
+        PSNR of the frame just encoded.
+    bitrate_mbps:
+        Output bitrate in Mbit/s at the delivery frame rate.
+    power_w:
+        Package power of the server while the frame was encoded.
+    """
+
+    fps: float
+    psnr_db: float
+    bitrate_mbps: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.fps < 0:
+            raise LearningError(f"fps must be >= 0, got {self.fps}")
+        if self.bitrate_mbps < 0:
+            raise LearningError(f"bitrate_mbps must be >= 0, got {self.bitrate_mbps}")
+        if self.power_w < 0:
+            raise LearningError(f"power_w must be >= 0, got {self.power_w}")
+
+
+def average_observations(observations: Sequence[Observation] | Iterable[Observation]) -> Observation:
+    """Average a group of observations component-wise.
+
+    The paper uses this for frames in which no agent acts ("NULL" slots of
+    Fig. 3): the next state presented to the learning update is the average
+    of the states observed during those frames, so that agents learn about
+    each other's behaviour rather than about frame-to-frame content noise.
+    """
+    observations = list(observations)
+    if not observations:
+        raise LearningError("cannot average an empty list of observations")
+    n = len(observations)
+    return Observation(
+        fps=sum(o.fps for o in observations) / n,
+        psnr_db=sum(o.psnr_db for o in observations) / n,
+        bitrate_mbps=sum(o.bitrate_mbps for o in observations) / n,
+        power_w=sum(o.power_w for o in observations) / n,
+    )

@@ -1,0 +1,154 @@
+"""Persistence of learned knowledge (Q-tables, counters, transitions).
+
+The paper's results reflect agents that have already learned their
+environment.  This module lets a controller's learned state be snapshotted to
+plain JSON-serialisable dictionaries, written to disk, and restored into a
+fresh controller — which enables pre-training once and reusing the knowledge
+across experiments (see :mod:`repro.manager.pretrain`).
+
+Snapshots cover, per agent: the Q-table, the per-(state, action) and
+per-action visit counters, and the empirical transition counts.  States are
+serialised as their 4-tuple of bin indices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.agent import QLearningAgent
+from repro.core.states import SystemState
+from repro.errors import LearningError
+
+__all__ = [
+    "snapshot_agent",
+    "restore_agent",
+    "snapshot_agents",
+    "restore_agents",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+#: Format version stored in every snapshot file.
+SNAPSHOT_VERSION = 1
+
+
+def _state_key(state: SystemState) -> str:
+    return ",".join(str(v) for v in state.as_tuple())
+
+
+def _state_from_key(key: str) -> SystemState:
+    parts = [int(v) for v in key.split(",")]
+    if len(parts) != 4:
+        raise LearningError(f"malformed state key {key!r}")
+    return SystemState(*parts)
+
+
+def snapshot_agent(agent: QLearningAgent) -> dict[str, Any]:
+    """Serialise one agent's learned state into a JSON-compatible dict."""
+    q_values = {
+        f"{_state_key(state)}|{action}": value
+        for (state, action), value in agent.q_table.items()
+    }
+    state_action_counts = {
+        f"{_state_key(state)}|{action}": agent.state_action_count(state, action)
+        for state in agent.known_states()
+        for action in agent.actions.indices()
+        if agent.state_action_count(state, action) > 0
+    }
+    transitions: dict[str, dict[str, int]] = {}
+    for state, action in agent.transitions.visited_pairs():
+        pair_key = f"{_state_key(state)}|{action}"
+        counts = {}
+        for next_state, probability in agent.transitions.distribution(state, action).items():
+            counts[_state_key(next_state)] = agent.transitions.count(state, action, next_state)
+        transitions[pair_key] = counts
+    return {
+        "name": agent.name,
+        "num_actions": len(agent.actions),
+        "action_values": list(agent.actions.values),
+        "q_values": q_values,
+        "state_action_counts": state_action_counts,
+        "action_counts": {str(a): agent.action_count(a) for a in agent.actions.indices()},
+        "transitions": transitions,
+    }
+
+
+def restore_agent(agent: QLearningAgent, snapshot: Mapping[str, Any]) -> None:
+    """Load a snapshot produced by :func:`snapshot_agent` into ``agent``.
+
+    The agent must have the same number of actions as the snapshot; the
+    action *values* are compared too and a mismatch raises, because Q-values
+    indexed against a different action set would be silently wrong.
+    """
+    if int(snapshot["num_actions"]) != len(agent.actions):
+        raise LearningError(
+            f"snapshot has {snapshot['num_actions']} actions, "
+            f"agent {agent.name!r} has {len(agent.actions)}"
+        )
+    snapshot_values = [tuple(v) if isinstance(v, list) else v for v in snapshot["action_values"]]
+    agent_values = [
+        tuple(v) if isinstance(v, (list, tuple)) else v for v in agent.actions.values
+    ]
+    if list(snapshot_values) != list(agent_values):
+        raise LearningError(
+            f"snapshot action values {snapshot_values!r} do not match "
+            f"agent {agent.name!r} action values {agent_values!r}"
+        )
+
+    for key, value in snapshot["q_values"].items():
+        state_key, action = key.rsplit("|", 1)
+        agent.q_table.set(_state_from_key(state_key), int(action), float(value))
+
+    for key, count in snapshot["state_action_counts"].items():
+        state_key, action = key.rsplit("|", 1)
+        agent._state_action_counts[(_state_from_key(state_key), int(action))] = int(count)
+
+    for action, count in snapshot["action_counts"].items():
+        agent._action_counts[int(action)] = int(count)
+
+    for pair_key, next_counts in snapshot["transitions"].items():
+        state_key, action = pair_key.rsplit("|", 1)
+        state = _state_from_key(state_key)
+        for next_state_key, count in next_counts.items():
+            next_state = _state_from_key(next_state_key)
+            for _ in range(int(count)):
+                agent.transitions.record(state, int(action), next_state)
+
+
+def snapshot_agents(agents: Mapping[str, QLearningAgent]) -> dict[str, Any]:
+    """Serialise a named collection of agents (e.g. a MAMUT controller's)."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "agents": {name: snapshot_agent(agent) for name, agent in agents.items()},
+    }
+
+
+def restore_agents(agents: Mapping[str, QLearningAgent], snapshot: Mapping[str, Any]) -> None:
+    """Restore a collection snapshot into matching agents (by name)."""
+    if int(snapshot.get("version", -1)) != SNAPSHOT_VERSION:
+        raise LearningError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    stored = snapshot["agents"]
+    missing = set(stored) - set(agents)
+    if missing:
+        raise LearningError(f"snapshot contains unknown agents: {sorted(missing)}")
+    for name, agent_snapshot in stored.items():
+        restore_agent(agents[name], agent_snapshot)
+
+
+def save_snapshot(snapshot: Mapping[str, Any], path: str | Path) -> Path:
+    """Write a snapshot dictionary to a JSON file and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle)
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read a snapshot dictionary from a JSON file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

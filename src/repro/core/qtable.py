@@ -1,0 +1,117 @@
+"""Tabular Q-value storage.
+
+States are :class:`~repro.core.states.SystemState` instances and actions are
+integer indices into the owning agent's
+:class:`~repro.core.actions.ActionSet`.  Unvisited entries default to zero.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.core.states import SystemState
+from repro.errors import LearningError
+
+__all__ = ["QTable"]
+
+
+class QTable:
+    """A sparse table of Q-values indexed by (state, action-index).
+
+    Parameters
+    ----------
+    num_actions:
+        Size of the owning agent's action set; action indices must fall in
+        ``[0, num_actions)``.
+    initial_value:
+        Q-value reported for unvisited (state, action) pairs.
+    """
+
+    def __init__(self, num_actions: int, initial_value: float = 0.0) -> None:
+        if num_actions < 1:
+            raise LearningError(f"num_actions must be >= 1, got {num_actions}")
+        self.num_actions = int(num_actions)
+        self.initial_value = float(initial_value)
+        self._values: Dict[Tuple[SystemState, int], float] = defaultdict(
+            lambda: self.initial_value
+        )
+
+    # -- access --------------------------------------------------------------------
+
+    def get(self, state: SystemState, action: int) -> float:
+        """Q-value of a (state, action) pair (``initial_value`` if unvisited)."""
+        self._check_action(action)
+        return self._values.get((state, action), self.initial_value)
+
+    def set(self, state: SystemState, action: int, value: float) -> None:
+        """Overwrite the Q-value of a (state, action) pair."""
+        self._check_action(action)
+        self._values[(state, action)] = float(value)
+
+    def update_towards(
+        self, state: SystemState, action: int, target: float, alpha: float
+    ) -> float:
+        """Move ``Q(state, action)`` towards ``target`` by step ``alpha``.
+
+        Returns the new value.  This is the inner step of the Q-learning
+        update ``Q += alpha * (target - Q)``.
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise LearningError(f"alpha must be in [0, 1], got {alpha}")
+        current = self.get(state, action)
+        new_value = current + alpha * (target - current)
+        self.set(state, action, new_value)
+        return new_value
+
+    # -- aggregates ------------------------------------------------------------------
+
+    def max_value(self, state: SystemState) -> float:
+        """Highest Q-value over all actions in ``state``."""
+        return max(self.get(state, a) for a in range(self.num_actions))
+
+    def best_action(self, state: SystemState) -> int:
+        """Index of the greedy action in ``state`` (ties resolved to lowest index)."""
+        best = 0
+        best_value = self.get(state, 0)
+        for action in range(1, self.num_actions):
+            value = self.get(state, action)
+            if value > best_value:
+                best, best_value = action, value
+        return best
+
+    def action_values(self, state: SystemState) -> list[float]:
+        """Q-values of every action in ``state``, in action-index order."""
+        return [self.get(state, a) for a in range(self.num_actions)]
+
+    def visited_states(self) -> set[SystemState]:
+        """States with at least one explicitly stored entry."""
+        return {state for state, _ in self._values}
+
+    def __len__(self) -> int:
+        """Number of explicitly stored (state, action) entries."""
+        return len(self._values)
+
+    def items(self) -> Iterator[tuple[tuple[SystemState, int], float]]:
+        """Iterate over explicitly stored ((state, action), value) pairs."""
+        return iter(self._values.items())
+
+    # -- persistence helpers -----------------------------------------------------------
+
+    def to_dict(self) -> dict[tuple[tuple[int, int, int, int], int], float]:
+        """Plain-dict snapshot keyed by (state tuple, action index)."""
+        return {
+            (state.as_tuple(), action): value
+            for (state, action), value in self._values.items()
+        }
+
+    def load(self, entries: Iterable[tuple[tuple[SystemState, int], float]]) -> None:
+        """Bulk-load entries (used by tests and checkpointing)."""
+        for (state, action), value in entries:
+            self.set(state, action, value)
+
+    def _check_action(self, action: int) -> None:
+        if not 0 <= action < self.num_actions:
+            raise LearningError(
+                f"action index {action} out of range [0, {self.num_actions})"
+            )

@@ -1,0 +1,97 @@
+"""Empirical state-transition model (paper Sec. IV-A).
+
+Because the environment is stochastic (content changes, other agents, other
+users), applying action ``a`` in state ``s`` does not always lead to the same
+next state.  Each agent therefore records every observed transition
+``s --a--> s'`` and estimates::
+
+    P(s --a--> s') = Num(s --a--> s') / Num(s, a)
+
+These probabilities drive the expected-Q computation of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Mapping, Tuple
+
+from repro.core.states import SystemState
+from repro.errors import LearningError
+
+__all__ = ["TransitionModel"]
+
+
+class TransitionModel:
+    """Counts and probabilities of observed state transitions per action."""
+
+    def __init__(self, num_actions: int) -> None:
+        if num_actions < 1:
+            raise LearningError(f"num_actions must be >= 1, got {num_actions}")
+        self.num_actions = int(num_actions)
+        self._counts: Dict[Tuple[SystemState, int], Dict[SystemState, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._totals: Dict[Tuple[SystemState, int], int] = defaultdict(int)
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, state: SystemState, action: int, next_state: SystemState) -> None:
+        """Record one observed transition ``state --action--> next_state``."""
+        self._check_action(action)
+        self._counts[(state, action)][next_state] += 1
+        self._totals[(state, action)] += 1
+
+    # -- queries -------------------------------------------------------------------
+
+    def count(self, state: SystemState, action: int, next_state: SystemState) -> int:
+        """Number of times ``state --action--> next_state`` was observed."""
+        self._check_action(action)
+        return self._counts.get((state, action), {}).get(next_state, 0)
+
+    def total(self, state: SystemState, action: int) -> int:
+        """Number of times ``action`` was taken in ``state``."""
+        self._check_action(action)
+        return self._totals.get((state, action), 0)
+
+    def probability(
+        self, state: SystemState, action: int, next_state: SystemState
+    ) -> float:
+        """Estimated ``P(state --action--> next_state)`` (0 if never observed)."""
+        total = self.total(state, action)
+        if total == 0:
+            return 0.0
+        return self.count(state, action, next_state) / total
+
+    def distribution(self, state: SystemState, action: int) -> Mapping[SystemState, float]:
+        """Full next-state distribution for ``(state, action)``.
+
+        Returns an empty mapping when the pair has never been tried.
+        """
+        total = self.total(state, action)
+        if total == 0:
+            return {}
+        return {
+            next_state: count / total
+            for next_state, count in self._counts[(state, action)].items()
+        }
+
+    def expected_value(
+        self, state: SystemState, action: int, value_of_state
+    ) -> float:
+        """Expectation of ``value_of_state(s')`` under the next-state distribution.
+
+        ``value_of_state`` is a callable mapping a state to a float.  Returns
+        0.0 when the (state, action) pair has no recorded transitions.
+        """
+        distribution = self.distribution(state, action)
+        return sum(p * value_of_state(s) for s, p in distribution.items())
+
+    def visited_pairs(self) -> set[tuple[SystemState, int]]:
+        """All (state, action) pairs with at least one recorded transition."""
+        return set(self._totals)
+
+    def _check_action(self, action: int) -> None:
+        if not 0 <= action < self.num_actions:
+            raise LearningError(
+                f"action index {action} out of range [0, {self.num_actions})"
+            )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the MAMUT reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration problems from runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class VideoError(ReproError):
+    """A video sequence or transcoding request is malformed."""
+
+
+class EncodingError(ReproError):
+    """The HEVC encoder simulator was driven with an invalid configuration."""
+
+
+class PlatformError(ReproError):
+    """The platform substrate (CPU, DVFS, power) rejected an operation."""
+
+
+class DvfsError(PlatformError):
+    """A frequency outside the supported range (or on an unknown core) was requested."""
+
+
+class AllocationError(PlatformError):
+    """Thread/core allocation on the server failed."""
+
+
+class LearningError(ReproError):
+    """The reinforcement-learning core was used inconsistently."""
+
+
+class SchedulingError(ReproError):
+    """The agent sequence/schedule was configured inconsistently."""
+
+
+class ScenarioError(ReproError):
+    """A multi-user scenario could not be constructed."""

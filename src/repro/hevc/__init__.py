@@ -1,0 +1,32 @@
+"""HEVC transcoder simulator.
+
+The paper's environment is the Kvazaar HEVC encoder (preceded by a decoder)
+running on a multicore server.  This package provides an analytical simulator
+of that transcoder: given an encoder configuration (preset, QP, threads) and
+the platform operating point (frequency, effective parallelism), it produces
+the per-frame outputs the MAMUT agents observe — encode time (hence FPS),
+PSNR, and bitrate — using rate-distortion, complexity, and Wavefront Parallel
+Processing (WPP) models calibrated to reproduce the paper's Fig. 2 shapes.
+"""
+
+from repro.hevc.params import Preset, EncoderConfig
+from repro.hevc.rd_model import RateDistortionModel
+from repro.hevc.complexity import ComplexityModel
+from repro.hevc.wpp import WppModel
+from repro.hevc.encoder import EncodedFrame, HevcEncoder
+from repro.hevc.decoder import DecodedFrame, HevcDecoder
+from repro.hevc.transcoder import TranscodeResult, Transcoder
+
+__all__ = [
+    "Preset",
+    "EncoderConfig",
+    "RateDistortionModel",
+    "ComplexityModel",
+    "WppModel",
+    "EncodedFrame",
+    "HevcEncoder",
+    "DecodedFrame",
+    "HevcDecoder",
+    "TranscodeResult",
+    "Transcoder",
+]

@@ -1,0 +1,105 @@
+"""Encoding complexity model: CPU cycles needed to encode a frame.
+
+HEVC encoding cost grows with resolution, decreases as QP grows (larger QP
+means coarser quantisation, fewer non-zero coefficients, cheaper RDO), and
+grows with content complexity and motion.  Scene-change (intra) frames are
+more expensive.  The model expresses cost in *cycles per frame*, so that
+dividing by the operating frequency and the parallel speedup gives the frame
+encode time used for FPS accounting.
+
+Calibration anchor: a 1080p frame of average complexity at QP 27 with the
+ultrafast preset costs ~6e8 cycles, i.e. ~5 FPS single-threaded at 3.2 GHz,
+consistent with the single-thread points of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.hevc.params import EncoderConfig
+from repro.video.sequence import Frame
+
+__all__ = ["ComplexityModelParameters", "ComplexityModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComplexityModelParameters:
+    """Calibration constants of the encoding-complexity model.
+
+    Attributes
+    ----------
+    base_cycles_per_pixel:
+        Cycles per luma pixel at the reference QP for the ultrafast preset
+        and content of complexity 1.0.
+    qp_sensitivity:
+        Exponential sensitivity of cost to QP: cost scales with
+        ``exp(qp_sensitivity * (ref_qp - qp))``.
+    ref_qp:
+        Anchor QP of the model.
+    complexity_weight:
+        Fraction of the cost that scales with spatial complexity.
+    motion_weight:
+        Additional relative cost at maximum motion (motion estimation work).
+    intra_cost_factor:
+        Multiplier for scene-change (intra) frames.
+    decode_fraction:
+        Decoder cost as a fraction of encoder cost at the same resolution
+        (the paper cites ~1/100 in Sec. I).
+    """
+
+    base_cycles_per_pixel: float = 230.0
+    qp_sensitivity: float = 0.030
+    ref_qp: int = 32
+    complexity_weight: float = 0.6
+    motion_weight: float = 0.35
+    intra_cost_factor: float = 1.25
+    decode_fraction: float = 0.01
+
+
+class ComplexityModel:
+    """Computes the encode (and decode) cost of a frame in CPU cycles."""
+
+    def __init__(self, params: ComplexityModelParameters | None = None) -> None:
+        self.params = params if params is not None else ComplexityModelParameters()
+
+    def encode_cycles(self, frame: Frame, config: EncoderConfig) -> float:
+        """Serial (single-thread) cycles required to encode ``frame``."""
+        p = self.params
+        qp_factor = math.exp(p.qp_sensitivity * (p.ref_qp - config.qp))
+        content_factor = (1.0 - p.complexity_weight) + p.complexity_weight * frame.complexity
+        motion_factor = 1.0 + p.motion_weight * frame.motion
+        intra_factor = p.intra_cost_factor if frame.is_scene_change else 1.0
+        cycles = (
+            p.base_cycles_per_pixel
+            * frame.pixels
+            * config.preset.effort_factor
+            * qp_factor
+            * content_factor
+            * motion_factor
+            * intra_factor
+        )
+        return float(cycles)
+
+    def decode_cycles(self, frame: Frame) -> float:
+        """Cycles required to decode the source frame before re-encoding.
+
+        Decoding cost is roughly independent of the *output* configuration;
+        it scales with resolution and (mildly) with content complexity.
+        """
+        p = self.params
+        content_factor = 0.7 + 0.3 * frame.complexity
+        return float(
+            p.decode_fraction * p.base_cycles_per_pixel * frame.pixels * content_factor
+        )
+
+    def encode_time_seconds(
+        self, frame: Frame, config: EncoderConfig, frequency_ghz: float, speedup: float
+    ) -> float:
+        """Wall-clock encode time given frequency (GHz) and parallel speedup."""
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        cycles = self.encode_cycles(frame, config)
+        return cycles / (frequency_ghz * 1e9 * speedup)

@@ -1,0 +1,62 @@
+"""HEVC decoder simulator.
+
+A transcoder is a decoder followed by an encoder (paper Sec. I).  Decoding is
+roughly two orders of magnitude cheaper than encoding, so it barely affects
+the control problem, but it is modelled explicitly so the transcoder pipeline
+and its timing are complete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import EncodingError
+from repro.hevc.complexity import ComplexityModel
+from repro.video.sequence import Frame
+
+__all__ = ["DecodedFrame", "HevcDecoder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodedFrame:
+    """Result of decoding a single source frame.
+
+    Attributes
+    ----------
+    frame_index:
+        Index of the frame within its sequence.
+    decode_time_s:
+        Wall-clock decoding time in seconds.
+    cycles:
+        CPU cycles spent decoding.
+    frame:
+        The decoded frame, passed on to the encoder unchanged (the simulator
+        carries content descriptors, not pixels).
+    """
+
+    frame_index: int
+    decode_time_s: float
+    cycles: float
+    frame: Frame
+
+
+class HevcDecoder:
+    """Frame-level analytical HEVC decoder."""
+
+    def __init__(self, complexity_model: ComplexityModel | None = None) -> None:
+        self.complexity_model = (
+            complexity_model if complexity_model is not None else ComplexityModel()
+        )
+
+    def decode_frame(self, frame: Frame, frequency_ghz: float) -> DecodedFrame:
+        """Decode one source frame at the given core frequency."""
+        if frequency_ghz <= 0:
+            raise EncodingError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        cycles = self.complexity_model.decode_cycles(frame)
+        decode_time = cycles / (frequency_ghz * 1e9)
+        return DecodedFrame(
+            frame_index=frame.index,
+            decode_time_s=decode_time,
+            cycles=cycles,
+            frame=frame,
+        )

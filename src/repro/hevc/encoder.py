@@ -1,0 +1,164 @@
+"""HEVC encoder simulator.
+
+Combines the rate-distortion, complexity and WPP models into a frame-level
+encoder: given a frame, an :class:`~repro.hevc.params.EncoderConfig` and the
+platform operating point (frequency and the effective parallelism granted by
+the server), it produces an :class:`EncodedFrame` with the outputs the MAMUT
+agents observe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import TARGET_FPS
+from repro.errors import EncodingError
+from repro.hevc.complexity import ComplexityModel
+from repro.hevc.params import EncoderConfig
+from repro.hevc.rd_model import RateDistortionModel
+from repro.hevc.wpp import WppModel
+from repro.video.sequence import Frame
+
+__all__ = ["EncodedFrame", "HevcEncoder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EncodedFrame:
+    """Result of encoding a single frame.
+
+    Attributes
+    ----------
+    frame_index:
+        Index of the source frame.
+    psnr_db:
+        Luma PSNR of the reconstructed frame.
+    bits:
+        Compressed frame size in bits.
+    bitrate_mbps:
+        Output bitrate in Mbit/s at the delivery frame rate.
+    encode_time_s:
+        Wall-clock encoding time in seconds.
+    fps:
+        Instantaneous throughput (1 / encode time).
+    cycles:
+        Serial CPU cycles spent encoding the frame.
+    threads_used:
+        Threads requested by the configuration.
+    effective_parallelism:
+        Parallel speedup actually achieved (WPP speedup scaled by any
+        server-side contention).
+    frequency_ghz:
+        Core frequency at which the frame was encoded.
+    qp:
+        Quantization Parameter used.
+    """
+
+    frame_index: int
+    psnr_db: float
+    bits: float
+    bitrate_mbps: float
+    encode_time_s: float
+    fps: float
+    cycles: float
+    threads_used: int
+    effective_parallelism: float
+    frequency_ghz: float
+    qp: int
+
+
+class HevcEncoder:
+    """Frame-level analytical HEVC encoder.
+
+    Parameters
+    ----------
+    rd_model:
+        Rate-distortion model (PSNR, bits); a default-calibrated model is
+        created when omitted.
+    complexity_model:
+        Encoding cost model.
+    wpp_model:
+        Wavefront parallel speedup model.
+    delivery_fps:
+        Frame rate at which the output stream is delivered (bitrate basis).
+    """
+
+    def __init__(
+        self,
+        rd_model: RateDistortionModel | None = None,
+        complexity_model: ComplexityModel | None = None,
+        wpp_model: WppModel | None = None,
+        delivery_fps: float = TARGET_FPS,
+    ) -> None:
+        if delivery_fps <= 0:
+            raise EncodingError(f"delivery_fps must be positive, got {delivery_fps}")
+        self.rd_model = rd_model if rd_model is not None else RateDistortionModel()
+        self.complexity_model = (
+            complexity_model if complexity_model is not None else ComplexityModel()
+        )
+        self.wpp_model = wpp_model if wpp_model is not None else WppModel()
+        self.delivery_fps = float(delivery_fps)
+
+    def encode_frame(
+        self,
+        frame: Frame,
+        config: EncoderConfig,
+        frequency_ghz: float,
+        contention_scale: float = 1.0,
+    ) -> EncodedFrame:
+        """Encode one frame and report quality, rate and timing.
+
+        Parameters
+        ----------
+        frame:
+            The source frame.
+        config:
+            Encoder configuration (QP, threads, preset).
+        frequency_ghz:
+            Operating frequency of the cores encoding this frame.
+        contention_scale:
+            Multiplicative penalty in ``(0, 1]`` applied to the parallel
+            speedup when the server cannot grant all requested threads
+            exclusively (multi-user contention / SMT sharing).
+        """
+        if frequency_ghz <= 0:
+            raise EncodingError(f"frequency_ghz must be positive, got {frequency_ghz}")
+        if not 0.0 < contention_scale <= 1.0:
+            raise EncodingError(
+                f"contention_scale must be in (0, 1], got {contention_scale}"
+            )
+
+        speedup = self.wpp_model.speedup(
+            config.threads, frame.width, frame.height, wpp=config.wpp
+        )
+        effective = max(1.0, speedup * contention_scale)
+
+        cycles = self.complexity_model.encode_cycles(frame, config)
+        encode_time = cycles / (frequency_ghz * 1e9 * effective)
+
+        psnr = self.rd_model.psnr_db(frame, config)
+        bits = self.rd_model.frame_bits(frame, config)
+        bitrate = self.rd_model.bitrate_mbps(frame, config, self.delivery_fps)
+
+        return EncodedFrame(
+            frame_index=frame.index,
+            psnr_db=psnr,
+            bits=bits,
+            bitrate_mbps=bitrate,
+            encode_time_s=encode_time,
+            fps=1.0 / encode_time,
+            cycles=cycles,
+            threads_used=config.threads,
+            effective_parallelism=effective,
+            frequency_ghz=frequency_ghz,
+            qp=config.qp,
+        )
+
+    def activity_factor(self, frame: Frame, config: EncoderConfig) -> float:
+        """Average busy fraction of each allocated thread while encoding.
+
+        Used by the power model: threads stalled on the WPP wavefront ramp
+        consume less dynamic power than fully busy ones.
+        """
+        return self.wpp_model.efficiency(
+            config.threads, frame.width, frame.height, wpp=config.wpp
+        )

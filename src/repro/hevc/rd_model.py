@@ -1,0 +1,177 @@
+"""Rate-distortion model: PSNR and bitrate as a function of QP and content.
+
+The model reproduces the qualitative relationships HEVC encoders exhibit and
+that the paper's Fig. 2 RD-curves show:
+
+* PSNR decreases roughly linearly with QP (~0.45 dB per QP step) and is lower
+  for complex/high-motion content;
+* bits per pixel roughly halve for every +6 QP (the standard "QP + 6 ⇒ half
+  the rate" rule of thumb), and grow with content complexity and motion;
+* slower presets gain some quality and compression at equal QP.
+
+Absolute values are calibrated so that a 1080p sequence of average complexity
+spans roughly 32-40 dB and 1-10 Mbit/s over QP 22..37 with the ultrafast
+preset, matching the ranges of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import EncodingError
+from repro.hevc.params import EncoderConfig
+from repro.video.sequence import Frame
+
+__all__ = ["RdModelParameters", "RateDistortionModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RdModelParameters:
+    """Calibration constants of the rate-distortion model.
+
+    Attributes
+    ----------
+    psnr_at_ref_qp:
+        PSNR (dB) produced at ``ref_qp`` for content of complexity 1.0 with
+        the ultrafast preset.
+    psnr_slope_db_per_qp:
+        PSNR decrease per unit of QP increase.
+    psnr_complexity_penalty_db:
+        PSNR penalty per unit of complexity above 1.0.
+    psnr_motion_penalty_db:
+        PSNR penalty at maximum motion (1.0).
+    ref_qp:
+        Anchor QP for both PSNR and bitrate.
+    bpp_at_ref_qp:
+        Bits per pixel produced at ``ref_qp`` for complexity 1.0.
+    qp_per_rate_halving:
+        QP increase that halves the bitrate (≈6 for HEVC).
+    intra_rate_factor:
+        Bitrate multiplier applied to scene-change (intra) frames.
+    """
+
+    psnr_at_ref_qp: float = 36.0
+    psnr_slope_db_per_qp: float = 0.45
+    psnr_complexity_penalty_db: float = 3.0
+    psnr_motion_penalty_db: float = 1.0
+    ref_qp: int = 32
+    bpp_at_ref_qp: float = 0.050
+    qp_per_rate_halving: float = 6.0
+    intra_rate_factor: float = 1.8
+
+    #: Hard clipping bounds for the produced PSNR.
+    psnr_floor_db: float = 25.0
+    psnr_ceiling_db: float = 55.0
+
+
+class RateDistortionModel:
+    """Computes PSNR and bits for an encoded frame.
+
+    Parameters
+    ----------
+    params:
+        Calibration constants; the defaults reproduce the paper's ranges.
+    """
+
+    def __init__(self, params: RdModelParameters | None = None) -> None:
+        self.params = params if params is not None else RdModelParameters()
+
+    # -- quality --------------------------------------------------------------
+
+    def psnr_db(self, frame: Frame, config: EncoderConfig) -> float:
+        """PSNR (dB) of ``frame`` encoded with ``config``."""
+        p = self.params
+        psnr = (
+            p.psnr_at_ref_qp
+            - p.psnr_slope_db_per_qp * (config.qp - p.ref_qp)
+            - p.psnr_complexity_penalty_db * (frame.complexity - 1.0)
+            - p.psnr_motion_penalty_db * frame.motion
+            + config.preset.quality_gain_db
+        )
+        return float(min(max(psnr, p.psnr_floor_db), p.psnr_ceiling_db))
+
+    # -- rate ------------------------------------------------------------------
+
+    def bits_per_pixel(self, frame: Frame, config: EncoderConfig) -> float:
+        """Compressed bits per luma pixel for ``frame`` under ``config``."""
+        p = self.params
+        qp_scale = 2.0 ** ((p.ref_qp - config.qp) / p.qp_per_rate_halving)
+        content_scale = frame.complexity * (0.8 + 0.4 * frame.motion)
+        intra_scale = p.intra_rate_factor if frame.is_scene_change else 1.0
+        bpp = (
+            p.bpp_at_ref_qp
+            * qp_scale
+            * content_scale
+            * intra_scale
+            * config.preset.compression_gain
+        )
+        return float(bpp)
+
+    def frame_bits(self, frame: Frame, config: EncoderConfig) -> float:
+        """Total compressed size of ``frame`` in bits."""
+        return self.bits_per_pixel(frame, config) * frame.pixels
+
+    def bitrate_mbps(
+        self, frame: Frame, config: EncoderConfig, delivery_fps: float
+    ) -> float:
+        """Instantaneous output bitrate in Mbit/s at the delivery frame rate.
+
+        Parameters
+        ----------
+        frame:
+            The frame being encoded.
+        config:
+            Encoder configuration.
+        delivery_fps:
+            Frame rate at which the output stream is delivered to the user
+            (the real-time target, 24 FPS in the paper).
+        """
+        if delivery_fps <= 0:
+            raise EncodingError(f"delivery_fps must be positive, got {delivery_fps}")
+        return self.frame_bits(frame, config) * delivery_fps / 1e6
+
+    # -- convenience -----------------------------------------------------------
+
+    def bandwidth_mbytes_per_s(
+        self, frame: Frame, config: EncoderConfig, delivery_fps: float
+    ) -> float:
+        """Output bandwidth in MBytes/s (the unit used on Fig. 2's x-axis)."""
+        return self.bitrate_mbps(frame, config, delivery_fps) / 8.0
+
+    def expected_psnr_range(self, config_low_qp: int, config_high_qp: int) -> tuple[float, float]:
+        """PSNR bounds (dB) spanned by a QP interval for average content.
+
+        Useful for sanity checks and for sizing the state space: returns the
+        PSNR at the *high* QP (low quality) and at the *low* QP (high
+        quality) for a frame of complexity 1.0 and motion 0.4.
+        """
+        p = self.params
+        if config_low_qp > config_high_qp:
+            raise EncodingError("config_low_qp must be <= config_high_qp")
+
+        def psnr_for(qp: int) -> float:
+            return (
+                p.psnr_at_ref_qp
+                - p.psnr_slope_db_per_qp * (qp - p.ref_qp)
+                - p.psnr_motion_penalty_db * 0.4
+            )
+
+        low = psnr_for(config_high_qp)
+        high = psnr_for(config_low_qp)
+        return (
+            float(min(max(low, p.psnr_floor_db), p.psnr_ceiling_db)),
+            float(min(max(high, p.psnr_floor_db), p.psnr_ceiling_db)),
+        )
+
+    @staticmethod
+    def mse_from_psnr(psnr_db: float, max_value: int = 255) -> float:
+        """Convert a PSNR value back to mean squared error (8-bit scale)."""
+        return (max_value**2) / (10.0 ** (psnr_db / 10.0))
+
+    @staticmethod
+    def psnr_from_mse(mse: float, max_value: int = 255) -> float:
+        """Convert a mean squared error to PSNR (dB, 8-bit scale)."""
+        if mse <= 0:
+            raise EncodingError(f"mse must be positive, got {mse}")
+        return 10.0 * math.log10((max_value**2) / mse)

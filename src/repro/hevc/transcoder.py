@@ -1,0 +1,106 @@
+"""Transcoder pipeline: decoder followed by encoder.
+
+The :class:`Transcoder` is the application half of the MAMUT environment
+(Fig. 1): per frame, it decodes the source and re-encodes it with the
+configuration chosen by the controller, reporting the observables (FPS, PSNR,
+bitrate) plus timing and cost breakdowns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hevc.decoder import DecodedFrame, HevcDecoder
+from repro.hevc.encoder import EncodedFrame, HevcEncoder
+from repro.hevc.params import EncoderConfig
+from repro.video.sequence import Frame
+
+__all__ = ["TranscodeResult", "Transcoder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TranscodeResult:
+    """Per-frame output of the transcoding pipeline.
+
+    Attributes
+    ----------
+    frame_index:
+        Index of the transcoded frame.
+    decoded:
+        Decoder stage result.
+    encoded:
+        Encoder stage result.
+    total_time_s:
+        End-to-end processing time of the frame (decode + encode).
+    fps:
+        Instantaneous pipeline throughput (1 / total time).
+    """
+
+    frame_index: int
+    decoded: DecodedFrame
+    encoded: EncodedFrame
+    total_time_s: float
+    fps: float
+
+    @property
+    def psnr_db(self) -> float:
+        """PSNR of the re-encoded frame."""
+        return self.encoded.psnr_db
+
+    @property
+    def bitrate_mbps(self) -> float:
+        """Output bitrate of the re-encoded frame in Mbit/s."""
+        return self.encoded.bitrate_mbps
+
+    @property
+    def cycles(self) -> float:
+        """Total CPU cycles spent on the frame (decode + encode)."""
+        return self.decoded.cycles + self.encoded.cycles
+
+
+class Transcoder:
+    """Decoder + encoder pipeline for one video stream.
+
+    Parameters
+    ----------
+    encoder:
+        The encoder simulator (owns the RD / complexity / WPP models).
+    decoder:
+        The decoder simulator; a default one sharing the encoder's complexity
+        model is created when omitted.
+    """
+
+    def __init__(
+        self, encoder: HevcEncoder | None = None, decoder: HevcDecoder | None = None
+    ) -> None:
+        self.encoder = encoder if encoder is not None else HevcEncoder()
+        self.decoder = (
+            decoder
+            if decoder is not None
+            else HevcDecoder(complexity_model=self.encoder.complexity_model)
+        )
+
+    def transcode_frame(
+        self,
+        frame: Frame,
+        config: EncoderConfig,
+        frequency_ghz: float,
+        contention_scale: float = 1.0,
+    ) -> TranscodeResult:
+        """Decode then re-encode one frame under the given operating point."""
+        decoded = self.decoder.decode_frame(frame, frequency_ghz)
+        encoded = self.encoder.encode_frame(
+            decoded.frame, config, frequency_ghz, contention_scale=contention_scale
+        )
+        total_time = decoded.decode_time_s + encoded.encode_time_s
+        return TranscodeResult(
+            frame_index=frame.index,
+            decoded=decoded,
+            encoded=encoded,
+            total_time_s=total_time,
+            fps=1.0 / total_time,
+        )
+
+    def activity_factor(self, frame: Frame, config: EncoderConfig) -> float:
+        """Busy fraction of allocated threads while processing ``frame``."""
+        return self.encoder.activity_factor(frame, config)

@@ -1,0 +1,40 @@
+"""Multi-user management: sessions, orchestration, scenarios, experiments.
+
+This package glues the substrates together into the paper's experimental
+setup: every user gets a :class:`~repro.manager.session.TranscodingSession`
+(video playlist + controller + transcoder), the
+:class:`~repro.manager.orchestrator.Orchestrator` advances all sessions
+frame-by-frame on a shared :class:`~repro.platform.server.MulticoreServer`,
+the scenario builders reproduce Scenario I and Scenario II of Sec. V, and the
+:class:`~repro.manager.runner.ExperimentRunner` repeats runs and aggregates
+the metrics the paper reports.
+"""
+
+from repro.manager.session import TranscodingSession
+from repro.manager.orchestrator import Orchestrator, OrchestratorResult
+from repro.manager.scenario import SessionSpec, scenario_one, scenario_two
+from repro.manager.factories import (
+    heuristic_factory,
+    mamut_factory,
+    monoagent_factory,
+    static_factory,
+)
+from repro.manager.runner import AveragedResult, ExperimentRunner
+from repro.manager.pretrain import pretrain_mamut, pretrained_mamut_factory
+
+__all__ = [
+    "TranscodingSession",
+    "Orchestrator",
+    "OrchestratorResult",
+    "SessionSpec",
+    "scenario_one",
+    "scenario_two",
+    "mamut_factory",
+    "monoagent_factory",
+    "heuristic_factory",
+    "static_factory",
+    "ExperimentRunner",
+    "AveragedResult",
+    "pretrain_mamut",
+    "pretrained_mamut_factory",
+]

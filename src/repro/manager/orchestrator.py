@@ -1,0 +1,143 @@
+"""Multi-user orchestrator: advances all sessions on the shared server.
+
+One orchestrator *step* transcodes one frame of every active session: every
+session's controller decides its configuration, the server allocates the
+resulting thread/frequency demands (producing the per-session contention
+scale and the package power), and every session then transcodes its frame
+under that allocation.  Sessions drop out as their playlists finish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ScenarioError
+from repro.metrics.aggregate import ExperimentSummary, summarize_experiment
+from repro.metrics.records import FrameRecord, PowerSample
+from repro.manager.session import TranscodingSession
+from repro.platform.dvfs import DvfsPolicy
+from repro.platform.meter import PowerMeter
+from repro.platform.server import MulticoreServer
+
+__all__ = ["OrchestratorResult", "Orchestrator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OrchestratorResult:
+    """Raw output of one orchestrator run.
+
+    Attributes
+    ----------
+    records_by_session:
+        Every session's per-frame records.
+    power_samples:
+        Per-step package power samples.
+    steps:
+        Number of orchestrator steps executed.
+    """
+
+    records_by_session: Mapping[str, Sequence[FrameRecord]]
+    power_samples: Sequence[PowerSample]
+    steps: int
+
+    def summary(self) -> ExperimentSummary:
+        """Aggregate the run into the paper's summary metrics."""
+        return summarize_experiment(self.records_by_session, self.power_samples)
+
+    def all_records(self) -> list[FrameRecord]:
+        """All frame records of all sessions, flattened."""
+        return [r for records in self.records_by_session.values() for r in records]
+
+
+class Orchestrator:
+    """Runs a set of transcoding sessions on one server.
+
+    Parameters
+    ----------
+    sessions:
+        The sessions to serve simultaneously.
+    server:
+        The shared platform; a default 16-core server is created when
+        omitted.  Its DVFS policy is set to chip-wide when any session's
+        controller declares a chip-wide policy (see
+        :class:`~repro.platform.dvfs.DvfsPolicy`).
+    """
+
+    def __init__(
+        self,
+        sessions: Sequence[TranscodingSession],
+        server: Optional[MulticoreServer] = None,
+    ) -> None:
+        sessions = list(sessions)
+        if not sessions:
+            raise ScenarioError("the orchestrator needs at least one session")
+        ids = [s.session_id for s in sessions]
+        if len(set(ids)) != len(ids):
+            raise ScenarioError(f"duplicate session ids: {ids}")
+        self.sessions = sessions
+        self.server = server if server is not None else MulticoreServer()
+        self.meter = PowerMeter()
+
+        if any(
+            session.controller.dvfs_policy is DvfsPolicy.CHIP_WIDE
+            for session in sessions
+        ):
+            self.server.dvfs_policy = DvfsPolicy.CHIP_WIDE
+
+    # -- execution ---------------------------------------------------------------------
+
+    def active_sessions(self) -> list[TranscodingSession]:
+        """Sessions that still have frames to transcode."""
+        return [session for session in self.sessions if session.active]
+
+    def run_step(self, step: int) -> Optional[PowerSample]:
+        """Advance every active session by one frame.
+
+        Returns the power sample of the step, or ``None`` when no session is
+        active anymore.
+        """
+        active = self.active_sessions()
+        if not active:
+            return None
+
+        demands = [session.prepare() for session in active]
+        allocation = self.server.allocate(demands)
+
+        records = [
+            session.execute(
+                allocation.contention_scale(session.session_id),
+                allocation.total_power_w,
+            )
+            for session in active
+        ]
+
+        duration = sum(record.encode_time_s for record in records) / len(records)
+        sample = PowerSample(
+            step=step,
+            power_w=allocation.total_power_w,
+            duration_s=duration,
+            active_sessions=len(active),
+        )
+        self.meter.record(sample.power_w, sample.duration_s)
+        return sample
+
+    def run(self, max_steps: Optional[int] = None) -> OrchestratorResult:
+        """Run until every playlist finishes (or ``max_steps`` is reached)."""
+        power_samples: list[PowerSample] = []
+        step = 0
+        while max_steps is None or step < max_steps:
+            sample = self.run_step(step)
+            if sample is None:
+                break
+            power_samples.append(sample)
+            step += 1
+
+        records_by_session = {
+            session.session_id: list(session.records) for session in self.sessions
+        }
+        return OrchestratorResult(
+            records_by_session=records_by_session,
+            power_samples=power_samples,
+            steps=step,
+        )

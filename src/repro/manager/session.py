@@ -1,0 +1,199 @@
+"""A transcoding session: one user's playlist, controller and transcoder.
+
+The orchestrator drives sessions with a two-phase protocol per step:
+
+1. :meth:`TranscodingSession.prepare` asks the controller for the next
+   frame's configuration and returns the resource demand the server needs
+   for its allocation;
+2. :meth:`TranscodingSession.execute` transcodes the frame under the granted
+   contention scale and server power, records the measurements, and advances
+   to the next frame (or the next video of the playlist).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.controller import Controller, Decision
+from repro.core.observation import Observation
+from repro.errors import ScenarioError
+from repro.hevc.params import EncoderConfig, Preset
+from repro.hevc.transcoder import Transcoder
+from repro.metrics.records import FrameRecord
+from repro.platform.server import SessionDemand
+from repro.video.request import TranscodingRequest
+from repro.video.sequence import ResolutionClass, VideoSequence
+
+__all__ = ["TranscodingSession"]
+
+#: Presets used in the paper's evaluation (Sec. V-A).
+HR_PRESET = Preset.ULTRAFAST
+LR_PRESET = Preset.SLOW
+
+
+class TranscodingSession:
+    """State of one user's transcoding work on the server.
+
+    Parameters
+    ----------
+    request:
+        The user's transcoding request (first video, target FPS, bandwidth).
+    controller:
+        The run-time manager deciding QP/threads/frequency for this session.
+    playlist:
+        Videos to transcode back-to-back; defaults to the request's sequence
+        only.  Scenario II uses playlists of five videos per user.
+    transcoder:
+        The decoder+encoder pipeline; a default-calibrated one is created
+        when omitted.
+    preset:
+        Encoder preset; defaults to the paper's choice per resolution class
+        (ultrafast for HR, slow for LR).
+    """
+
+    def __init__(
+        self,
+        request: TranscodingRequest,
+        controller: Controller,
+        playlist: Optional[Sequence[VideoSequence]] = None,
+        transcoder: Optional[Transcoder] = None,
+        preset: Optional[Preset] = None,
+    ) -> None:
+        self.request = request
+        self.controller = controller
+        self.playlist: list[VideoSequence] = (
+            list(playlist) if playlist is not None else [request.sequence]
+        )
+        if not self.playlist:
+            raise ScenarioError(f"session {request.user_id!r} has an empty playlist")
+        self.transcoder = transcoder if transcoder is not None else Transcoder()
+        self._preset_override = preset
+
+        self.records: list[FrameRecord] = []
+        self.last_observation: Optional[Observation] = None
+        self._video_index = 0
+        self._frame_index = 0
+        self._step = 0
+        self._pending: Optional[tuple[Decision, EncoderConfig]] = None
+
+    # -- identity / progress --------------------------------------------------------
+
+    @property
+    def session_id(self) -> str:
+        """Identifier of the session (the requesting user's id)."""
+        return self.request.user_id
+
+    @property
+    def active(self) -> bool:
+        """True while there are frames left to transcode."""
+        return self._video_index < len(self.playlist)
+
+    @property
+    def current_video(self) -> VideoSequence:
+        """The video currently being transcoded."""
+        if not self.active:
+            raise ScenarioError(f"session {self.session_id!r} has finished")
+        return self.playlist[self._video_index]
+
+    @property
+    def step(self) -> int:
+        """Number of frames transcoded so far (across the whole playlist)."""
+        return self._step
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames across the playlist."""
+        return sum(len(video) for video in self.playlist)
+
+    def preset_for(self, video: VideoSequence) -> Preset:
+        """Encoder preset used for a given video."""
+        if self._preset_override is not None:
+            return self._preset_override
+        return (
+            HR_PRESET if video.resolution_class is ResolutionClass.HR else LR_PRESET
+        )
+
+    # -- two-phase step protocol -------------------------------------------------------
+
+    def prepare(self) -> SessionDemand:
+        """Ask the controller for the next frame's configuration.
+
+        Returns the resource demand the orchestrator hands to the server.
+        Must be followed by exactly one :meth:`execute` call.
+        """
+        if not self.active:
+            raise ScenarioError(f"session {self.session_id!r} has finished")
+        if self._pending is not None:
+            raise ScenarioError("prepare() called twice without execute()")
+
+        video = self.current_video
+        frame = video[self._frame_index]
+        decision = self.controller.decide(self._step, self.last_observation)
+        config = EncoderConfig(
+            qp=decision.qp,
+            threads=decision.threads,
+            preset=self.preset_for(video),
+        )
+        activity = self.transcoder.activity_factor(frame, config)
+        self._pending = (decision, config)
+        return SessionDemand(
+            session_id=self.session_id,
+            threads=decision.threads,
+            frequency_ghz=decision.frequency_ghz,
+            activity=activity,
+        )
+
+    def execute(self, contention_scale: float, server_power_w: float) -> FrameRecord:
+        """Transcode the prepared frame under the server's allocation."""
+        if self._pending is None:
+            raise ScenarioError("execute() called without a preceding prepare()")
+        decision, config = self._pending
+        self._pending = None
+
+        video = self.current_video
+        frame = video[self._frame_index]
+        result = self.transcoder.transcode_frame(
+            frame,
+            config,
+            frequency_ghz=decision.frequency_ghz,
+            contention_scale=contention_scale,
+        )
+
+        observation = Observation(
+            fps=result.fps,
+            psnr_db=result.psnr_db,
+            bitrate_mbps=result.bitrate_mbps,
+            power_w=server_power_w,
+        )
+        record = FrameRecord(
+            session_id=self.session_id,
+            step=self._step,
+            video_name=video.name,
+            frame_index=frame.index,
+            resolution_class=video.resolution_class,
+            qp=decision.qp,
+            threads=decision.threads,
+            frequency_ghz=decision.frequency_ghz,
+            fps=result.fps,
+            psnr_db=result.psnr_db,
+            bitrate_mbps=result.bitrate_mbps,
+            encode_time_s=result.total_time_s,
+            power_w=server_power_w,
+            target_fps=self.request.target_fps,
+        )
+
+        self.records.append(record)
+        self.last_observation = observation
+        self._step += 1
+        self._advance_frame()
+        return record
+
+    def _advance_frame(self) -> None:
+        self._frame_index += 1
+        if self._frame_index >= len(self.playlist[self._video_index]):
+            self._frame_index = 0
+            self._video_index += 1
+            # A new video starts: clear the controller's per-video transient
+            # state while keeping its learned knowledge (Scenario II).
+            if self.active:
+                self.controller.reset()

@@ -1,0 +1,24 @@
+"""Metrics: per-frame records, QoS accounting, and aggregation.
+
+The paper evaluates controllers on QoS violations (percentage of frames
+processed below the 24-FPS target, called Δ), average package power, average
+threads and frequency, PSNR and bitrate.  This package defines the per-frame
+record produced by the orchestrator and the aggregation helpers that turn a
+run into those summary numbers.
+"""
+
+from repro.metrics.records import FrameRecord, PowerSample
+from repro.metrics.qos import qos_violation_pct, violations
+from repro.metrics.aggregate import ExperimentSummary, SessionSummary, summarize_session
+from repro.metrics.report import format_table
+
+__all__ = [
+    "FrameRecord",
+    "PowerSample",
+    "qos_violation_pct",
+    "violations",
+    "SessionSummary",
+    "ExperimentSummary",
+    "summarize_session",
+    "format_table",
+]

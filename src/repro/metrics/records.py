@@ -1,0 +1,86 @@
+"""Per-frame and per-step measurement records."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.video.sequence import ResolutionClass
+
+__all__ = ["FrameRecord", "PowerSample"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameRecord:
+    """Everything measured while transcoding one frame of one session.
+
+    Attributes
+    ----------
+    session_id:
+        Session the frame belongs to.
+    step:
+        Global step index of the session (monotonic across the videos of a
+        playlist).
+    video_name:
+        Name of the video the frame belongs to.
+    frame_index:
+        Frame index within its video.
+    resolution_class:
+        HR or LR.
+    qp, threads, frequency_ghz:
+        Configuration applied to the frame.
+    fps:
+        Instantaneous throughput achieved for the frame.
+    psnr_db:
+        Quality of the re-encoded frame.
+    bitrate_mbps:
+        Output bitrate at the delivery frame rate.
+    encode_time_s:
+        Wall-clock processing time of the frame (decode + encode).
+    power_w:
+        Package power of the server while the frame was processed.
+    target_fps:
+        The session's real-time target, for violation accounting.
+    """
+
+    session_id: str
+    step: int
+    video_name: str
+    frame_index: int
+    resolution_class: ResolutionClass
+    qp: int
+    threads: int
+    frequency_ghz: float
+    fps: float
+    psnr_db: float
+    bitrate_mbps: float
+    encode_time_s: float
+    power_w: float
+    target_fps: float
+
+    @property
+    def is_violation(self) -> bool:
+        """True when the frame was processed below the real-time target."""
+        return self.fps < self.target_fps
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerSample:
+    """Package power over one orchestrator step.
+
+    Attributes
+    ----------
+    step:
+        Orchestrator step index.
+    power_w:
+        Package power during the step.
+    duration_s:
+        Wall-clock duration attributed to the step (mean frame time of the
+        active sessions).
+    active_sessions:
+        Number of sessions that processed a frame in this step.
+    """
+
+    step: int
+    power_w: float
+    duration_s: float
+    active_sessions: int

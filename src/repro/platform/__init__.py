@@ -1,0 +1,42 @@
+"""Platform substrate: multicore server, per-core DVFS, and power modelling.
+
+The paper's platform is a 16-core (32-thread) dual-socket Intel Xeon
+E5-2667 v4 server with per-core DVFS (1.2-3.2 GHz) and power measured at the
+package level.  This package models that platform:
+
+* :mod:`repro.platform.topology` — sockets, cores, SMT threads;
+* :mod:`repro.platform.dvfs` — a sysfs-like per-core frequency driver;
+* :mod:`repro.platform.power` — voltage/frequency table and power model;
+* :mod:`repro.platform.meter` — an energy/average-power meter (RAPL-like);
+* :mod:`repro.platform.server` — thread allocation, contention, and the
+  per-step power computation used by the multi-user orchestrator.
+"""
+
+from repro.platform.topology import CpuTopology
+from repro.platform.dvfs import DvfsDriver, DvfsPolicy
+from repro.platform.power import PowerModel, PowerModelParameters, VoltageTable
+from repro.platform.meter import PowerMeter
+from repro.platform.thermal import ThermalModel, ThermalModelParameters, temperature_trace
+from repro.platform.server import (
+    MulticoreServer,
+    ServerAllocation,
+    SessionAllocation,
+    SessionDemand,
+)
+
+__all__ = [
+    "CpuTopology",
+    "DvfsDriver",
+    "DvfsPolicy",
+    "PowerModel",
+    "PowerModelParameters",
+    "VoltageTable",
+    "PowerMeter",
+    "ThermalModel",
+    "ThermalModelParameters",
+    "temperature_trace",
+    "MulticoreServer",
+    "ServerAllocation",
+    "SessionAllocation",
+    "SessionDemand",
+]

@@ -1,0 +1,82 @@
+"""Energy/average-power meter.
+
+Models a RAPL-style package energy counter: callers feed it ``(power, dt)``
+samples and can read back total energy, overall average power, and a sliding
+window average (the quantity the agents observe as their "power" state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import PlatformError
+
+__all__ = ["PowerMeter"]
+
+
+class PowerMeter:
+    """Accumulates power samples into energy and windowed averages.
+
+    Parameters
+    ----------
+    window_seconds:
+        Length of the sliding window used by :meth:`windowed_average_w`.
+    """
+
+    def __init__(self, window_seconds: float = 1.0) -> None:
+        if window_seconds <= 0:
+            raise PlatformError(f"window_seconds must be positive, got {window_seconds}")
+        self.window_seconds = float(window_seconds)
+        self._energy_j = 0.0
+        self._elapsed_s = 0.0
+        self._window: deque[tuple[float, float]] = deque()  # (power_w, dt_s)
+        self._window_time = 0.0
+
+    def record(self, power_w: float, duration_s: float) -> None:
+        """Record that the package drew ``power_w`` for ``duration_s`` seconds."""
+        if power_w < 0:
+            raise PlatformError(f"power must be >= 0, got {power_w}")
+        if duration_s < 0:
+            raise PlatformError(f"duration must be >= 0, got {duration_s}")
+        if duration_s == 0:
+            return
+        self._energy_j += power_w * duration_s
+        self._elapsed_s += duration_s
+        self._window.append((power_w, duration_s))
+        self._window_time += duration_s
+        self._trim_window()
+
+    def _trim_window(self) -> None:
+        while self._window and self._window_time - self._window[0][1] >= self.window_seconds:
+            _, dt = self._window.popleft()
+            self._window_time -= dt
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy accumulated since construction or the last reset."""
+        return self._energy_j
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total time covered by the recorded samples."""
+        return self._elapsed_s
+
+    def average_power_w(self) -> float:
+        """Average power over the entire recorded history (0 if empty)."""
+        if self._elapsed_s == 0:
+            return 0.0
+        return self._energy_j / self._elapsed_s
+
+    def windowed_average_w(self) -> float:
+        """Average power over the most recent ``window_seconds`` of samples."""
+        if not self._window:
+            return 0.0
+        energy = sum(p * dt for p, dt in self._window)
+        return energy / self._window_time
+
+    def reset(self) -> None:
+        """Clear all recorded samples."""
+        self._energy_j = 0.0
+        self._elapsed_s = 0.0
+        self._window.clear()
+        self._window_time = 0.0

@@ -1,0 +1,107 @@
+"""Package thermal model (lumped RC).
+
+The MAMUT paper manages power; its companion work [8] additionally manages
+temperature.  This module provides the thermal substrate needed to extend the
+controller in that direction: a first-order lumped RC model of the package::
+
+    C_th · dT/dt = P − (T − T_ambient) / R_th
+
+integrated with an exponential step, so arbitrary (power, duration) samples —
+e.g. the orchestrator's per-step power trace — can be converted into a
+temperature trace, and a thermal-headroom metric can be reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import PlatformError
+from repro.metrics.records import PowerSample
+
+__all__ = ["ThermalModelParameters", "ThermalModel", "temperature_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalModelParameters:
+    """Constants of the lumped package thermal model.
+
+    Attributes
+    ----------
+    ambient_c:
+        Ambient (inlet) temperature in °C.
+    thermal_resistance_c_per_w:
+        Junction-to-ambient thermal resistance; steady-state temperature is
+        ``ambient + R_th · P``.
+    time_constant_s:
+        RC time constant of the package + heatsink.
+    critical_temperature_c:
+        Temperature at which the platform would throttle.
+    """
+
+    ambient_c: float = 40.0
+    thermal_resistance_c_per_w: float = 0.28
+    time_constant_s: float = 12.0
+    critical_temperature_c: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_c_per_w <= 0:
+            raise PlatformError("thermal_resistance_c_per_w must be positive")
+        if self.time_constant_s <= 0:
+            raise PlatformError("time_constant_s must be positive")
+        if self.critical_temperature_c <= self.ambient_c:
+            raise PlatformError("critical temperature must exceed ambient")
+
+
+class ThermalModel:
+    """Integrates package power into package temperature."""
+
+    def __init__(self, params: ThermalModelParameters | None = None) -> None:
+        self.params = params if params is not None else ThermalModelParameters()
+        self._temperature_c = self.params.ambient_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current package temperature."""
+        return self._temperature_c
+
+    def reset(self) -> None:
+        """Return the package to ambient temperature."""
+        self._temperature_c = self.params.ambient_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature the package would settle at under constant ``power_w``."""
+        if power_w < 0:
+            raise PlatformError(f"power must be >= 0, got {power_w}")
+        return self.params.ambient_c + self.params.thermal_resistance_c_per_w * power_w
+
+    def step(self, power_w: float, duration_s: float) -> float:
+        """Advance the model by ``duration_s`` seconds at ``power_w`` watts.
+
+        Returns the temperature at the end of the step.  The exact solution
+        of the first-order model is used, so arbitrarily long steps are safe.
+        """
+        if duration_s < 0:
+            raise PlatformError(f"duration must be >= 0, got {duration_s}")
+        target = self.steady_state_c(power_w)
+        decay = math.exp(-duration_s / self.params.time_constant_s)
+        self._temperature_c = target + (self._temperature_c - target) * decay
+        return self._temperature_c
+
+    def headroom_c(self) -> float:
+        """Degrees left before the critical (throttling) temperature."""
+        return self.params.critical_temperature_c - self._temperature_c
+
+    def is_throttling(self) -> bool:
+        """Whether the package has reached the critical temperature."""
+        return self._temperature_c >= self.params.critical_temperature_c
+
+
+def temperature_trace(
+    power_samples: Sequence[PowerSample] | Iterable[PowerSample],
+    params: ThermalModelParameters | None = None,
+) -> list[float]:
+    """Temperature after each power sample of an orchestrator run."""
+    model = ThermalModel(params)
+    return [model.step(sample.power_w, sample.duration_s) for sample in power_samples]

@@ -1,0 +1,99 @@
+"""CPU topology of the transcoding server."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlatformError
+
+__all__ = ["CpuTopology"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuTopology:
+    """Description of the server's CPU resources.
+
+    The defaults match the paper's platform: two Intel Xeon E5-2667 v4
+    sockets, 8 cores per socket, 2-way SMT, i.e. 16 physical cores and 32
+    hardware threads.
+
+    Attributes
+    ----------
+    sockets:
+        Number of CPU packages.
+    cores_per_socket:
+        Physical cores per package.
+    smt:
+        Hardware threads per physical core (2 = Hyper-Threading).
+    smt_efficiency:
+        Throughput of each of two threads sharing a core, relative to a
+        thread running alone on the core (two SMT siblings together deliver
+        roughly ``2 * smt_efficiency`` of a core).
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    smt: int = 2
+    smt_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise PlatformError(f"sockets must be >= 1, got {self.sockets}")
+        if self.cores_per_socket < 1:
+            raise PlatformError(
+                f"cores_per_socket must be >= 1, got {self.cores_per_socket}"
+            )
+        if self.smt < 1:
+            raise PlatformError(f"smt must be >= 1, got {self.smt}")
+        if not 0.5 <= self.smt_efficiency <= 1.0:
+            raise PlatformError(
+                f"smt_efficiency must be in [0.5, 1.0], got {self.smt_efficiency}"
+            )
+
+    @property
+    def physical_cores(self) -> int:
+        """Total number of physical cores in the server."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total number of hardware threads (logical CPUs)."""
+        return self.physical_cores * self.smt
+
+    def core_ids(self) -> range:
+        """Identifiers of the physical cores (0 .. physical_cores - 1)."""
+        return range(self.physical_cores)
+
+    def effective_capacity(self, requested_threads: int) -> float:
+        """Aggregate throughput capacity (in single-thread units) available
+        to ``requested_threads`` software threads.
+
+        * Up to ``physical_cores`` threads each get a dedicated core.
+        * Beyond that, threads share cores via SMT and each sibling runs at
+          ``smt_efficiency`` of a dedicated thread.
+        * Beyond ``hardware_threads``, additional software threads are
+          time-sliced and add no capacity.
+        """
+        if requested_threads < 0:
+            raise PlatformError(
+                f"requested_threads must be >= 0, got {requested_threads}"
+            )
+        cores = self.physical_cores
+        hw_threads = self.hardware_threads
+        if requested_threads <= cores:
+            return float(requested_threads)
+        shared = min(requested_threads, hw_threads) - cores
+        # `cores - shared` cores keep one dedicated thread; `shared` cores run
+        # two siblings, each at smt_efficiency.
+        return float((cores - shared) + 2 * shared * self.smt_efficiency)
+
+    def contention_scale(self, requested_threads: int) -> float:
+        """Per-thread throughput scale in ``(0, 1]`` under the current load.
+
+        The server grants every requested software thread a fair share of the
+        effective capacity, so each thread runs at
+        ``effective_capacity / requested_threads`` of a dedicated core.
+        """
+        if requested_threads <= 0:
+            return 1.0
+        return min(1.0, self.effective_capacity(requested_threads) / requested_threads)

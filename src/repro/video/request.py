@@ -1,0 +1,60 @@
+"""Transcoding requests submitted by users to the multi-user server."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import DEFAULT_BANDWIDTH_MBPS, TARGET_FPS
+from repro.errors import VideoError
+from repro.video.sequence import ResolutionClass, VideoSequence
+
+__all__ = ["TranscodingRequest"]
+
+
+@dataclasses.dataclass
+class TranscodingRequest:
+    """A user's request to transcode one video in real time.
+
+    Attributes
+    ----------
+    user_id:
+        Identifier of the requesting user (unique within an experiment).
+    sequence:
+        The video sequence to be transcoded.
+    target_fps:
+        The real-time throughput target; frames processed below this rate
+        count as QoS violations (paper uses 24 FPS).
+    bandwidth_mbps:
+        The user's available downstream bandwidth; the produced bitrate must
+        stay below this value (compression constraint).
+    """
+
+    user_id: str
+    sequence: VideoSequence
+    target_fps: float = TARGET_FPS
+    bandwidth_mbps: float = DEFAULT_BANDWIDTH_MBPS
+
+    def __post_init__(self) -> None:
+        if self.target_fps <= 0:
+            raise VideoError(f"target_fps must be positive, got {self.target_fps}")
+        if self.bandwidth_mbps <= 0:
+            raise VideoError(
+                f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}"
+            )
+
+    @property
+    def resolution_class(self) -> ResolutionClass:
+        """Resolution class (HR/LR) of the requested video."""
+        return self.sequence.resolution_class
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames to be transcoded."""
+        return len(self.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TranscodingRequest(user={self.user_id!r}, "
+            f"video={self.sequence.name!r} [{self.resolution_class.value}], "
+            f"target={self.target_fps} fps, bw={self.bandwidth_mbps} Mb/s)"
+        )

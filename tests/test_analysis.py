@@ -1,0 +1,114 @@
+"""Unit tests for repro.analysis (figure/table regeneration, small configs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import fig2_characterization, fig5_trace
+from repro.analysis.tables import (
+    default_factories,
+    fig4_scenario_one_sweep,
+    table1_threads_frequency,
+    table2_scenario_two,
+)
+from repro.manager.factories import static_factory
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig2_characterization(
+            thread_counts=(1, 4, 10), qp_values=(22, 37), num_frames=12
+        )
+
+    def test_sweep_covers_all_configurations(self, points):
+        assert len(points) == 6
+        assert {(p.threads, p.qp) for p in points} == {
+            (1, 22), (1, 37), (4, 22), (4, 37), (10, 22), (10, 37)
+        }
+
+    def test_fps_increases_with_threads(self, points):
+        by_config = {(p.threads, p.qp): p for p in points}
+        assert by_config[(10, 37)].fps > by_config[(4, 37)].fps > by_config[(1, 37)].fps
+
+    def test_fps_increases_with_qp(self, points):
+        by_config = {(p.threads, p.qp): p for p in points}
+        assert by_config[(10, 37)].fps > by_config[(10, 22)].fps
+
+    def test_psnr_and_bandwidth_decrease_with_qp(self, points):
+        by_config = {(p.threads, p.qp): p for p in points}
+        assert by_config[(1, 22)].psnr_db > by_config[(1, 37)].psnr_db
+        assert by_config[(1, 22)].bandwidth_mbytes_per_s > by_config[(1, 37)].bandwidth_mbytes_per_s
+
+    def test_power_increases_with_threads(self, points):
+        by_config = {(p.threads, p.qp): p for p in points}
+        assert by_config[(10, 22)].power_w > by_config[(1, 22)].power_w
+
+    def test_values_match_paper_ranges(self, points):
+        """Fig. 2 ranges: ~3-45 FPS, ~50-90 W, ~32-41 dB, <1.5 MBytes/s."""
+        for point in points:
+            assert 2.0 <= point.fps <= 50.0
+            assert 45.0 <= point.power_w <= 95.0
+            assert 30.0 <= point.psnr_db <= 43.0
+            assert point.bandwidth_mbytes_per_s <= 1.6
+
+
+class TestFig5:
+    def test_trace_series_are_consistent(self):
+        trace = fig5_trace(num_frames=120)
+        assert set(trace) == {
+            "frame", "fps", "psnr_db", "qp", "threads", "frequency_ghz", "power_w"
+        }
+        lengths = {len(series) for series in trace.values()}
+        assert lengths == {120}
+        assert trace["frame"] == [float(i) for i in range(120)]
+        assert all(1 <= t <= 12 for t in trace["threads"])
+        assert all(1.6 <= f <= 3.2 for f in trace["frequency_ghz"])
+        assert all(22 <= q <= 37 for q in trace["qp"])
+
+
+class TestTables:
+    def test_default_factories_are_the_paper_comparison(self):
+        assert set(default_factories()) == {"Heuristic", "MonoAgent", "MAMUT"}
+
+    def test_fig4_rows_shape(self):
+        rows = fig4_scenario_one_sweep(
+            hr_counts=(1,),
+            lr_counts=(1,),
+            factories={"Static": static_factory(32, 6, 3.2)},
+            num_frames=24,
+            warmup_videos=0,
+        )
+        assert {(r.workload, r.controller) for r in rows} == {
+            ("1HR", "Static"), ("1LR", "Static")
+        }
+        assert all(0.0 <= r.qos_violation_pct <= 100.0 for r in rows)
+        assert all(r.power_w > 0 for r in rows)
+
+    def test_table1_rows_shape(self):
+        rows = table1_threads_frequency(
+            factories={"Static": static_factory(32, 6, 2.9)},
+            num_hr=1,
+            num_lr=1,
+            num_frames=24,
+            warmup_videos=0,
+        )
+        assert {(r.controller, r.resolution_class) for r in rows} == {
+            ("Static", "HR"), ("Static", "LR")
+        }
+        assert all(r.mean_threads == pytest.approx(6.0) for r in rows)
+        assert all(r.mean_frequency_ghz == pytest.approx(2.9) for r in rows)
+
+    def test_table2_rows_shape(self):
+        rows = table2_scenario_two(
+            mixes=((1, 1),),
+            factories={"Static": static_factory(32, 6, 3.2)},
+            followers=1,
+            frames_per_video=24,
+            warmup_videos=0,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.workload == "1HR1LR"
+        assert row.power_w > 0
+        assert row.mean_fps > 0

@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["quickstart"])
+        assert args.command == "quickstart"
+        for command in ("compare", "fig2", "fig4", "fig5", "table1", "table2"):
+            assert build_parser().parse_args([command]).command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--seed", "7", "--power-cap", "90", "quickstart"])
+        assert args.seed == 7
+        assert args.power_cap == pytest.approx(90.0)
+
+
+class TestCommands:
+    def test_quickstart_prints_metrics(self, capsys):
+        assert main(["quickstart", "--frames", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "mean FPS" in output
+        assert "QoS violations" in output
+
+    def test_fig2_prints_the_sweep(self, capsys):
+        assert main(["fig2", "--frames", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "threads" in output and "QP" in output
+
+    def test_fig5_prints_a_trace(self, capsys):
+        assert main(["fig5", "--frames", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "frame" in output and "freq (GHz)" in output
+
+    def test_compare_prints_all_controllers(self, capsys):
+        assert main(
+            ["compare", "--hr", "1", "--lr", "0", "--frames", "48", "--warmup-videos", "0"]
+        ) == 0
+        output = capsys.readouterr().out
+        for name in ("Heuristic", "MonoAgent", "MAMUT"):
+            assert name in output
+
+    def test_table2_with_custom_mixes(self, capsys):
+        assert main(
+            [
+                "table2",
+                "--mixes",
+                "1x1",
+                "--frames-per-video",
+                "24",
+                "--warmup-videos",
+                "0",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "1HR1LR" in output

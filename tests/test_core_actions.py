@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.actions (paper Sec. III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import DVFS_VALUES_GHZ, QP_VALUES
+from repro.core.actions import (
+    ActionSet,
+    default_dvfs_actions,
+    default_qp_actions,
+    default_thread_actions,
+)
+from repro.errors import ConfigurationError
+from repro.video.sequence import ResolutionClass
+
+
+class TestActionSet:
+    def test_container_protocol(self):
+        actions = ActionSet("demo", (10, 20, 30))
+        assert len(actions) == 3
+        assert list(actions) == [10, 20, 30]
+        assert 20 in actions
+        assert actions[1] == 20
+        assert actions.values == (10, 20, 30)
+
+    def test_index_of(self):
+        actions = ActionSet("demo", (10, 20, 30))
+        assert actions.index_of(30) == 2
+        with pytest.raises(ConfigurationError):
+            actions.index_of(99)
+
+    def test_clamp_index(self):
+        actions = ActionSet("demo", (10, 20, 30))
+        assert actions.clamp_index(-5) == 0
+        assert actions.clamp_index(1) == 1
+        assert actions.clamp_index(10) == 2
+
+    def test_closest_index(self):
+        actions = ActionSet("freq", (1.6, 2.3, 3.2))
+        assert actions.closest_index(1.7) == 0
+        assert actions.closest_index(2.6) == 1
+        assert actions.closest_index(5.0) == 2
+
+    def test_equality_and_hash(self):
+        assert ActionSet("a", (1, 2)) == ActionSet("a", (1, 2))
+        assert ActionSet("a", (1, 2)) != ActionSet("b", (1, 2))
+        assert hash(ActionSet("a", (1, 2))) == hash(ActionSet("a", (1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionSet("demo", ())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionSet("demo", (1, 1, 2))
+
+
+class TestDefaults:
+    def test_qp_actions_match_paper(self):
+        assert default_qp_actions().values == QP_VALUES == (22, 25, 27, 29, 32, 35, 37)
+
+    def test_dvfs_actions_match_paper(self):
+        assert default_dvfs_actions().values == DVFS_VALUES_GHZ == (1.6, 1.9, 2.3, 2.6, 2.9, 3.2)
+
+    def test_hr_thread_actions_reach_twelve(self):
+        actions = default_thread_actions(ResolutionClass.HR)
+        assert actions.values == tuple(range(1, 13))
+
+    def test_lr_thread_actions_reach_five(self):
+        actions = default_thread_actions(ResolutionClass.LR)
+        assert actions.values == tuple(range(1, 6))
+
+    def test_explicit_max_threads(self):
+        assert default_thread_actions(max_threads=3).values == (1, 2, 3)
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_thread_actions()
+        with pytest.raises(ConfigurationError):
+            default_thread_actions(max_threads=0)

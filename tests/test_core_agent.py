@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import ActionSet
+from repro.core.agent import QLearningAgent
+from repro.core.learning_rate import LearningRateParameters
+from repro.core.phases import Phase
+from repro.core.states import SystemState
+from repro.errors import LearningError
+
+
+S0 = SystemState(0, 1, 0, 0)
+S1 = SystemState(1, 1, 0, 0)
+
+
+def make_agent(num_actions=4, gamma=0.6, epsilon=0.2, seed=0, **lr_kwargs) -> QLearningAgent:
+    return QLearningAgent(
+        "test",
+        ActionSet("a", tuple(range(num_actions))),
+        gamma=gamma,
+        learning_rate_params=LearningRateParameters(**lr_kwargs) if lr_kwargs else None,
+        seed=seed,
+        exploration_epsilon=epsilon,
+    )
+
+
+class TestCounters:
+    def test_counts_start_at_zero(self):
+        agent = make_agent()
+        assert agent.state_action_count(S0, 0) == 0
+        assert agent.action_count(0) == 0
+        assert agent.min_action_count() == 0
+        assert agent.known_states() == set()
+
+    def test_update_increments_counters(self):
+        agent = make_agent()
+        agent.update(S0, 2, reward=1.0, next_state=S1, peer_min_counts=[])
+        assert agent.state_action_count(S0, 2) == 1
+        assert agent.action_count(2) == 1
+        assert agent.known_states() == {S0}
+        assert agent.transitions.total(S0, 2) == 1
+
+    def test_min_action_count_tracks_least_tried(self):
+        agent = make_agent(num_actions=2)
+        agent.update(S0, 0, 1.0, S1, [])
+        assert agent.min_action_count() == 0
+        agent.update(S0, 1, 1.0, S1, [])
+        assert agent.min_action_count() == 1
+
+
+class TestUpdate:
+    def test_q_learning_update_rule(self):
+        agent = make_agent(gamma=0.5, beta=0.3, beta_prime=0.0)
+        agent.q_table.set(S1, 0, 2.0)
+        alpha = agent.update(S0, 1, reward=1.0, next_state=S1, peer_min_counts=[])
+        # First visit: alpha = 0.3/1 = 0.3; target = 1 + 0.5*2 = 2.0.
+        assert alpha == pytest.approx(0.3)
+        assert agent.q_table.get(S0, 1) == pytest.approx(0.3 * 2.0)
+
+    def test_peer_counts_enter_the_learning_rate(self):
+        agent = make_agent()
+        alpha_uncovered = agent.update(S0, 0, 0.0, S1, peer_min_counts=[0, 0])
+        alpha_covered = agent.update(S0, 0, 0.0, S1, peer_min_counts=[10, 10])
+        assert alpha_uncovered > alpha_covered
+
+    def test_invalid_action_rejected(self):
+        agent = make_agent(num_actions=2)
+        with pytest.raises(LearningError):
+            agent.update(S0, 5, 0.0, S1, [])
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(LearningError):
+            make_agent(gamma=1.0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(LearningError):
+            make_agent(epsilon=1.5)
+
+
+class TestPhases:
+    def test_new_state_is_exploration(self):
+        agent = make_agent()
+        assert agent.phase(S0, [5, 5]) is Phase.EXPLORATION
+
+    def test_phase_advances_with_visits_and_peer_coverage(self):
+        agent = make_agent(num_actions=2)
+        for _ in range(3):
+            agent.update(S0, 0, 0.5, S0, [5, 5])
+        assert agent.phase(S0, [5, 5]) is Phase.EXPLORATION
+        for _ in range(10):
+            agent.update(S0, 0, 0.5, S0, [5, 5])
+        assert agent.phase(S0, [5, 5]) in (
+            Phase.EXPLORATION_EXPLOITATION,
+            Phase.EXPLOITATION,
+        )
+        for _ in range(30):
+            agent.update(S0, 0, 0.5, S0, [20, 20])
+        assert agent.phase(S0, [20, 20]) is Phase.EXPLOITATION
+
+    def test_uncovered_peers_block_phase_progress(self):
+        """Eq. 3's second term: exploration cannot end while other agents
+        still have untried actions (paper Sec. IV-B)."""
+        agent = make_agent(num_actions=2)
+        for _ in range(50):
+            agent.update(S0, 0, 0.5, S0, [0, 0])
+        assert agent.phase(S0, [0, 0]) is Phase.EXPLORATION
+
+    def test_phase_helpers(self):
+        assert Phase.EXPLORATION.is_random
+        assert not Phase.EXPLOITATION.is_random
+        assert Phase.EXPLOITATION.uses_chained_policy
+        assert not Phase.EXPLORATION_EXPLOITATION.uses_chained_policy
+
+
+class TestSelection:
+    def test_greedy_picks_highest_q(self):
+        agent = make_agent(num_actions=3)
+        agent.q_table.set(S0, 1, 5.0)
+        assert agent.select_greedy_action(S0) == 1
+
+    def test_greedy_tie_prefers_current(self):
+        agent = make_agent(num_actions=3)
+        assert agent.select_greedy_action(S0, current=2) == 2
+
+    def test_greedy_tie_without_current_is_a_valid_action(self):
+        agent = make_agent(num_actions=3)
+        assert agent.select_greedy_action(S0) in (0, 1, 2)
+
+    def test_exploration_returns_valid_actions(self):
+        agent = make_agent(num_actions=5, epsilon=1.0)
+        choices = {agent.select_exploration_action(S0) for _ in range(50)}
+        assert choices <= set(range(5))
+        assert len(choices) > 1
+
+    def test_exploration_with_zero_epsilon_is_greedy(self):
+        agent = make_agent(num_actions=3, epsilon=0.0)
+        agent.q_table.set(S0, 2, 1.0)
+        assert agent.select_exploration_action(S0) == 2
+
+    def test_select_action_dispatch(self):
+        agent = make_agent(num_actions=3)
+        agent.q_table.set(S0, 1, 3.0)
+        assert agent.select_action(S0, Phase.EXPLORATION_EXPLOITATION) == 1
+        assert agent.select_action(S0, Phase.EXPLOITATION) == 1
+        assert agent.select_action(S0, Phase.EXPLORATION) in (0, 1, 2)
+
+    def test_seed_reproducibility(self):
+        a = make_agent(seed=7, epsilon=1.0)
+        b = make_agent(seed=7, epsilon=1.0)
+        assert [a.select_exploration_action(S0) for _ in range(20)] == [
+            b.select_exploration_action(S0) for _ in range(20)
+        ]
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        agent = make_agent()
+        agent.update(S0, 0, 1.0, S1, [])
+        summary = agent.summary()
+        assert summary["name"] == "test"
+        assert summary["actions"] == 4
+        assert summary["visited_states"] == 1
+        assert summary["q_entries"] >= 1

@@ -1,0 +1,48 @@
+"""Unit tests for repro.core.observation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.observation import Observation, average_observations
+from repro.errors import LearningError
+
+
+class TestObservation:
+    def test_valid_construction(self):
+        obs = Observation(fps=25.0, psnr_db=36.0, bitrate_mbps=4.0, power_w=80.0)
+        assert obs.fps == 25.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(LearningError):
+            Observation(fps=-1.0, psnr_db=36.0, bitrate_mbps=4.0, power_w=80.0)
+        with pytest.raises(LearningError):
+            Observation(fps=25.0, psnr_db=36.0, bitrate_mbps=-0.1, power_w=80.0)
+        with pytest.raises(LearningError):
+            Observation(fps=25.0, psnr_db=36.0, bitrate_mbps=4.0, power_w=-1.0)
+
+
+class TestAverageObservations:
+    def test_single_observation_is_identity(self):
+        obs = Observation(fps=25.0, psnr_db=36.0, bitrate_mbps=4.0, power_w=80.0)
+        assert average_observations([obs]) == obs
+
+    def test_componentwise_mean(self):
+        a = Observation(fps=20.0, psnr_db=30.0, bitrate_mbps=2.0, power_w=60.0)
+        b = Observation(fps=30.0, psnr_db=40.0, bitrate_mbps=6.0, power_w=100.0)
+        avg = average_observations([a, b])
+        assert avg.fps == pytest.approx(25.0)
+        assert avg.psnr_db == pytest.approx(35.0)
+        assert avg.bitrate_mbps == pytest.approx(4.0)
+        assert avg.power_w == pytest.approx(80.0)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(LearningError):
+            average_observations([])
+
+    def test_accepts_generators(self):
+        observations = (
+            Observation(fps=float(f), psnr_db=35.0, bitrate_mbps=3.0, power_w=70.0)
+            for f in (24, 26)
+        )
+        assert average_observations(observations).fps == pytest.approx(25.0)

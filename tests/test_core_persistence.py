@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import ActionSet
+from repro.core.agent import QLearningAgent
+from repro.core.config import MamutConfig
+from repro.core.mamut import MamutController
+from repro.core.observation import Observation
+from repro.core.persistence import (
+    load_snapshot,
+    restore_agent,
+    restore_agents,
+    save_snapshot,
+    snapshot_agent,
+    snapshot_agents,
+)
+from repro.core.states import SystemState
+from repro.errors import LearningError
+
+
+S0 = SystemState(0, 1, 0, 0)
+S1 = SystemState(2, 1, 0, 0)
+
+
+def trained_agent(seed: int = 0) -> QLearningAgent:
+    agent = QLearningAgent("demo", ActionSet("demo", (10, 20, 30)), seed=seed)
+    agent.update(S0, 0, reward=-1.0, next_state=S0, peer_min_counts=[2])
+    agent.update(S0, 1, reward=1.0, next_state=S1, peer_min_counts=[2])
+    agent.update(S1, 2, reward=0.5, next_state=S1, peer_min_counts=[3])
+    return agent
+
+
+class TestAgentSnapshot:
+    def test_roundtrip_preserves_q_values_and_counts(self):
+        source = trained_agent()
+        snapshot = snapshot_agent(source)
+        target = QLearningAgent("demo", ActionSet("demo", (10, 20, 30)))
+        restore_agent(target, snapshot)
+
+        for state in (S0, S1):
+            assert target.q_table.action_values(state) == pytest.approx(
+                source.q_table.action_values(state)
+            )
+        assert target.state_action_count(S0, 1) == source.state_action_count(S0, 1)
+        assert target.action_count(1) == source.action_count(1)
+        assert target.min_action_count() == source.min_action_count()
+
+    def test_roundtrip_preserves_transition_probabilities(self):
+        source = trained_agent()
+        snapshot = snapshot_agent(source)
+        target = QLearningAgent("demo", ActionSet("demo", (10, 20, 30)))
+        restore_agent(target, snapshot)
+        assert target.transitions.probability(S0, 1, S1) == pytest.approx(
+            source.transitions.probability(S0, 1, S1)
+        )
+
+    def test_restoring_into_mismatched_action_set_fails(self):
+        snapshot = snapshot_agent(trained_agent())
+        wrong_size = QLearningAgent("demo", ActionSet("demo", (10, 20)))
+        with pytest.raises(LearningError):
+            restore_agent(wrong_size, snapshot)
+        wrong_values = QLearningAgent("demo", ActionSet("demo", (1, 2, 3)))
+        with pytest.raises(LearningError):
+            restore_agent(wrong_values, snapshot)
+
+    def test_snapshot_is_json_serialisable(self, tmp_path):
+        snapshot = snapshot_agents({"demo": trained_agent()})
+        path = save_snapshot(snapshot, tmp_path / "knowledge.json")
+        loaded = load_snapshot(path)
+        assert loaded["version"] == snapshot["version"]
+        assert set(loaded["agents"]) == {"demo"}
+
+
+class TestControllerSnapshot:
+    def _train(self, controller: MamutController, frames: int = 240) -> None:
+        controller.decide(0, None)
+        for frame in range(1, frames):
+            controller.decide(
+                frame, Observation(fps=25.0, psnr_db=36.0, bitrate_mbps=4.0, power_w=80.0)
+            )
+
+    def test_controller_knowledge_roundtrip(self, hr_request):
+        source = MamutController(MamutConfig.for_request(hr_request, seed=0))
+        self._train(source)
+        snapshot = snapshot_agents(source.agents)
+
+        target = MamutController(MamutConfig.for_request(hr_request, seed=99))
+        restore_agents(target.agents, snapshot)
+        for name, agent in source.agents.items():
+            assert len(target.agents[name].q_table) == len(agent.q_table)
+            assert target.agents[name].min_action_count() == agent.min_action_count()
+
+    def test_unknown_agent_names_rejected(self, hr_request):
+        source = MamutController(MamutConfig.for_request(hr_request))
+        self._train(source, frames=60)
+        snapshot = snapshot_agents(source.agents)
+        snapshot["agents"]["mystery"] = snapshot["agents"]["qp"]
+        target = MamutController(MamutConfig.for_request(hr_request))
+        with pytest.raises(LearningError):
+            restore_agents(target.agents, snapshot)
+
+    def test_version_check(self, hr_request):
+        source = MamutController(MamutConfig.for_request(hr_request))
+        self._train(source, frames=60)
+        snapshot = snapshot_agents(source.agents)
+        snapshot["version"] = 999
+        with pytest.raises(LearningError):
+            restore_agents(MamutController(MamutConfig.for_request(hr_request)).agents, snapshot)

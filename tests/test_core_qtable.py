@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.qtable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qtable import QTable
+from repro.core.states import SystemState
+from repro.errors import LearningError
+
+
+S0 = SystemState(0, 0, 0, 0)
+S1 = SystemState(1, 2, 1, 0)
+
+
+class TestQTable:
+    def test_unvisited_entries_default_to_initial_value(self):
+        table = QTable(num_actions=4, initial_value=0.5)
+        assert table.get(S0, 0) == pytest.approx(0.5)
+        assert len(table) == 0
+
+    def test_set_and_get(self):
+        table = QTable(num_actions=3)
+        table.set(S0, 1, 2.5)
+        assert table.get(S0, 1) == pytest.approx(2.5)
+        assert len(table) == 1
+
+    def test_update_towards(self):
+        table = QTable(num_actions=2)
+        new_value = table.update_towards(S0, 0, target=10.0, alpha=0.5)
+        assert new_value == pytest.approx(5.0)
+        assert table.get(S0, 0) == pytest.approx(5.0)
+        table.update_towards(S0, 0, target=10.0, alpha=0.5)
+        assert table.get(S0, 0) == pytest.approx(7.5)
+
+    def test_update_with_invalid_alpha(self):
+        table = QTable(num_actions=2)
+        with pytest.raises(LearningError):
+            table.update_towards(S0, 0, target=1.0, alpha=1.5)
+
+    def test_max_value_and_best_action(self):
+        table = QTable(num_actions=3)
+        table.set(S0, 0, 1.0)
+        table.set(S0, 2, 3.0)
+        assert table.max_value(S0) == pytest.approx(3.0)
+        assert table.best_action(S0) == 2
+
+    def test_best_action_tie_resolves_to_lowest_index(self):
+        table = QTable(num_actions=3)
+        assert table.best_action(S0) == 0
+
+    def test_action_values(self):
+        table = QTable(num_actions=3)
+        table.set(S1, 1, -2.0)
+        assert table.action_values(S1) == [0.0, -2.0, 0.0]
+
+    def test_visited_states(self):
+        table = QTable(num_actions=2)
+        table.set(S0, 0, 1.0)
+        table.set(S1, 1, 2.0)
+        assert table.visited_states() == {S0, S1}
+
+    def test_to_dict_and_load(self):
+        table = QTable(num_actions=2)
+        table.set(S0, 1, 4.0)
+        snapshot = table.to_dict()
+        assert snapshot[(S0.as_tuple(), 1)] == pytest.approx(4.0)
+
+        other = QTable(num_actions=2)
+        other.load([((S0, 1), 4.0)])
+        assert other.get(S0, 1) == pytest.approx(4.0)
+
+    def test_invalid_action_index_rejected(self):
+        table = QTable(num_actions=2)
+        with pytest.raises(LearningError):
+            table.get(S0, 2)
+        with pytest.raises(LearningError):
+            table.set(S0, -1, 1.0)
+
+    def test_invalid_num_actions_rejected(self):
+        with pytest.raises(LearningError):
+            QTable(num_actions=0)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.states (paper Sec. III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.observation import Observation
+from repro.core.states import StateSpace, SystemState
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def space() -> StateSpace:
+    return StateSpace()
+
+
+def obs(fps=25.0, psnr=36.0, bitrate=4.0, power=80.0) -> Observation:
+    return Observation(fps=fps, psnr_db=psnr, bitrate_mbps=bitrate, power_w=power)
+
+
+class TestFpsBins:
+    def test_paper_bins(self, space):
+        """FPS states: <24, <26, <28, <30, >=30 (Sec. III-C)."""
+        assert space.num_fps_bins == 5
+        assert space.fps_bin(10.0) == 0
+        assert space.fps_bin(23.99) == 0
+        assert space.fps_bin(24.0) == 1
+        assert space.fps_bin(25.9) == 1
+        assert space.fps_bin(26.0) == 2
+        assert space.fps_bin(28.0) == 3
+        assert space.fps_bin(30.0) == 4
+        assert space.fps_bin(100.0) == 4
+
+
+class TestPsnrBins:
+    def test_paper_bins(self, space):
+        """PSNR states: <=30, <=35, <=40, <=45, <=50, >50 dB (Sec. III-C)."""
+        assert space.num_psnr_bins == 6
+        assert space.psnr_bin(28.0) == 0
+        assert space.psnr_bin(30.0) == 0
+        assert space.psnr_bin(33.0) == 1
+        assert space.psnr_bin(38.0) == 2
+        assert space.psnr_bin(43.0) == 3
+        assert space.psnr_bin(48.0) == 4
+        assert space.psnr_bin(51.0) == 5
+
+
+class TestBitrateBins:
+    def test_paper_bins(self, space):
+        """Bitrate states: <3, 3-6, >6 Mb/s (Sec. III-C)."""
+        assert space.num_bitrate_bins == 3
+        assert space.bitrate_bin(1.0) == 0
+        assert space.bitrate_bin(3.0) == 0
+        assert space.bitrate_bin(4.5) == 1
+        assert space.bitrate_bin(6.0) == 1
+        assert space.bitrate_bin(8.0) == 2
+
+
+class TestPowerBins:
+    def test_cap_split(self, space):
+        assert space.num_power_bins == 2
+        assert space.power_bin(space.power_cap_w - 1.0) == 0
+        assert space.power_bin(space.power_cap_w) == 1
+        assert space.power_bin(space.power_cap_w + 10.0) == 1
+
+
+class TestDiscretize:
+    def test_discretize_produces_consistent_state(self, space):
+        state = space.discretize(obs(fps=27.0, psnr=42.0, bitrate=7.0, power=130.0))
+        assert state == SystemState(fps_bin=2, psnr_bin=3, bitrate_bin=2, power_bin=1)
+
+    def test_state_is_hashable_and_ordered(self, space):
+        a = space.discretize(obs())
+        b = space.discretize(obs())
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.as_tuple() == (a.fps_bin, a.psnr_bin, a.bitrate_bin, a.power_bin)
+
+    def test_size_and_enumeration(self, space):
+        states = list(space.states())
+        assert len(states) == space.size == 5 * 6 * 3 * 2
+        assert len(set(states)) == space.size
+
+    def test_every_observation_maps_into_the_space(self, space):
+        for fps in (0.0, 24.0, 29.0, 60.0):
+            for psnr in (10.0, 33.0, 49.0, 60.0):
+                for bitrate in (0.0, 5.0, 50.0):
+                    for power in (10.0, 200.0):
+                        state = space.discretize(obs(fps, psnr, bitrate, power))
+                        assert 0 <= state.fps_bin < space.num_fps_bins
+                        assert 0 <= state.psnr_bin < space.num_psnr_bins
+                        assert 0 <= state.bitrate_bin < space.num_bitrate_bins
+                        assert 0 <= state.power_bin < space.num_power_bins
+
+
+class TestValidation:
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateSpace(fps_target=0.0)
+        with pytest.raises(ConfigurationError):
+            StateSpace(power_cap_w=0.0)
+        with pytest.raises(ConfigurationError):
+            StateSpace(fps_margins=(4.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            StateSpace(psnr_edges=(40.0, 30.0))
+        with pytest.raises(ConfigurationError):
+            StateSpace(bitrate_edges_mbps=(6.0, 3.0))

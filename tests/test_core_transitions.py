@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.transitions (paper Sec. IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import SystemState
+from repro.core.transitions import TransitionModel
+from repro.errors import LearningError
+
+
+S0 = SystemState(0, 0, 0, 0)
+S1 = SystemState(1, 0, 0, 0)
+S2 = SystemState(2, 0, 0, 0)
+
+
+class TestTransitionModel:
+    def test_counts_and_probabilities(self):
+        model = TransitionModel(num_actions=2)
+        model.record(S0, 0, S1)
+        model.record(S0, 0, S1)
+        model.record(S0, 0, S2)
+        assert model.total(S0, 0) == 3
+        assert model.count(S0, 0, S1) == 2
+        assert model.probability(S0, 0, S1) == pytest.approx(2 / 3)
+        assert model.probability(S0, 0, S2) == pytest.approx(1 / 3)
+
+    def test_probabilities_sum_to_one(self):
+        model = TransitionModel(num_actions=1)
+        for target in (S0, S1, S2, S1, S1):
+            model.record(S0, 0, target)
+        assert sum(model.distribution(S0, 0).values()) == pytest.approx(1.0)
+
+    def test_unseen_pair_has_empty_distribution(self):
+        model = TransitionModel(num_actions=2)
+        assert model.distribution(S0, 1) == {}
+        assert model.probability(S0, 1, S1) == 0.0
+        assert model.total(S0, 1) == 0
+
+    def test_expected_value(self):
+        model = TransitionModel(num_actions=1)
+        model.record(S0, 0, S1)
+        model.record(S0, 0, S2)
+        values = {S1: 10.0, S2: 20.0}
+        assert model.expected_value(S0, 0, lambda s: values[s]) == pytest.approx(15.0)
+
+    def test_expected_value_of_unseen_pair_is_zero(self):
+        model = TransitionModel(num_actions=1)
+        assert model.expected_value(S0, 0, lambda s: 100.0) == 0.0
+
+    def test_visited_pairs(self):
+        model = TransitionModel(num_actions=2)
+        model.record(S0, 1, S1)
+        model.record(S1, 0, S2)
+        assert model.visited_pairs() == {(S0, 1), (S1, 0)}
+
+    def test_invalid_action_rejected(self):
+        model = TransitionModel(num_actions=2)
+        with pytest.raises(LearningError):
+            model.record(S0, 2, S1)
+        with pytest.raises(LearningError):
+            model.total(S0, -1)
+
+    def test_invalid_num_actions_rejected(self):
+        with pytest.raises(LearningError):
+            TransitionModel(num_actions=0)

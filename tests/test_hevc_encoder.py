@@ -1,0 +1,93 @@
+"""Unit tests for repro.hevc.encoder and repro.hevc.decoder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.hevc.decoder import HevcDecoder
+from repro.hevc.encoder import HevcEncoder
+from repro.hevc.params import EncoderConfig
+
+
+@pytest.fixture
+def encoder() -> HevcEncoder:
+    return HevcEncoder()
+
+
+class TestEncodeFrame:
+    def test_result_fields_are_consistent(self, encoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        result = encoder.encode_frame(hr_frame, config, frequency_ghz=3.2)
+        assert result.frame_index == hr_frame.index
+        assert result.qp == 32
+        assert result.threads_used == 8
+        assert result.fps == pytest.approx(1.0 / result.encode_time_s)
+        assert result.bits > 0
+        assert result.bitrate_mbps > 0
+        assert result.psnr_db > 25.0
+        assert result.effective_parallelism >= 1.0
+
+    def test_more_threads_encode_faster(self, encoder, hr_frame):
+        slow = encoder.encode_frame(hr_frame, EncoderConfig(qp=32, threads=1), 3.2)
+        fast = encoder.encode_frame(hr_frame, EncoderConfig(qp=32, threads=10), 3.2)
+        assert fast.encode_time_s < slow.encode_time_s
+
+    def test_higher_frequency_encodes_faster(self, encoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        slow = encoder.encode_frame(hr_frame, config, 1.6)
+        fast = encoder.encode_frame(hr_frame, config, 3.2)
+        assert fast.fps == pytest.approx(slow.fps * 2.0, rel=1e-6)
+
+    def test_contention_slows_down_encoding(self, encoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        free = encoder.encode_frame(hr_frame, config, 3.2, contention_scale=1.0)
+        contended = encoder.encode_frame(hr_frame, config, 3.2, contention_scale=0.5)
+        assert contended.encode_time_s > free.encode_time_s
+
+    def test_contention_never_pushes_parallelism_below_one(self, encoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=2)
+        result = encoder.encode_frame(hr_frame, config, 3.2, contention_scale=0.1)
+        assert result.effective_parallelism >= 1.0
+
+    def test_quality_does_not_depend_on_threads(self, encoder, hr_frame):
+        one = encoder.encode_frame(hr_frame, EncoderConfig(qp=32, threads=1), 3.2)
+        many = encoder.encode_frame(hr_frame, EncoderConfig(qp=32, threads=10), 3.2)
+        assert one.psnr_db == pytest.approx(many.psnr_db)
+        assert one.bits == pytest.approx(many.bits)
+
+    def test_invalid_inputs_raise(self, encoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=4)
+        with pytest.raises(EncodingError):
+            encoder.encode_frame(hr_frame, config, 0.0)
+        with pytest.raises(EncodingError):
+            encoder.encode_frame(hr_frame, config, 3.2, contention_scale=0.0)
+        with pytest.raises(EncodingError):
+            encoder.encode_frame(hr_frame, config, 3.2, contention_scale=1.5)
+
+    def test_invalid_delivery_fps_raises(self):
+        with pytest.raises(EncodingError):
+            HevcEncoder(delivery_fps=0.0)
+
+    def test_activity_factor_bounded(self, encoder, hr_frame):
+        for threads in (1, 4, 8, 12):
+            activity = encoder.activity_factor(hr_frame, EncoderConfig(qp=32, threads=threads))
+            assert 0.0 < activity <= 1.0
+
+
+class TestDecoder:
+    def test_decode_is_fast(self, hr_frame):
+        decoder = HevcDecoder()
+        decoded = decoder.decode_frame(hr_frame, 3.2)
+        assert decoded.decode_time_s < 0.01
+        assert decoded.frame is hr_frame
+
+    def test_decode_scales_with_frequency(self, hr_frame):
+        decoder = HevcDecoder()
+        assert decoder.decode_frame(hr_frame, 1.6).decode_time_s == pytest.approx(
+            2.0 * decoder.decode_frame(hr_frame, 3.2).decode_time_s
+        )
+
+    def test_invalid_frequency_raises(self, hr_frame):
+        with pytest.raises(EncodingError):
+            HevcDecoder().decode_frame(hr_frame, 0.0)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.hevc.transcoder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hevc.params import EncoderConfig, Preset
+from repro.hevc.transcoder import Transcoder
+
+
+class TestTranscoder:
+    def test_total_time_is_decode_plus_encode(self, transcoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        result = transcoder.transcode_frame(hr_frame, config, 3.2)
+        assert result.total_time_s == pytest.approx(
+            result.decoded.decode_time_s + result.encoded.encode_time_s
+        )
+        assert result.fps == pytest.approx(1.0 / result.total_time_s)
+
+    def test_decode_overhead_is_small(self, transcoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        result = transcoder.transcode_frame(hr_frame, config, 3.2)
+        assert result.decoded.decode_time_s < 0.15 * result.encoded.encode_time_s
+
+    def test_convenience_properties(self, transcoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        result = transcoder.transcode_frame(hr_frame, config, 3.2)
+        assert result.psnr_db == result.encoded.psnr_db
+        assert result.bitrate_mbps == result.encoded.bitrate_mbps
+        assert result.cycles == pytest.approx(result.decoded.cycles + result.encoded.cycles)
+
+    def test_shared_complexity_model_between_stages(self):
+        transcoder = Transcoder()
+        assert transcoder.decoder.complexity_model is transcoder.encoder.complexity_model
+
+    def test_hr_ultrafast_realtime_feasible_at_max_configuration(self, transcoder, hr_frame):
+        """The platform must be able to reach the 24 FPS target for HR videos
+        (otherwise the control problem of the paper would be infeasible)."""
+        config = EncoderConfig(qp=37, threads=12, preset=Preset.ULTRAFAST)
+        result = transcoder.transcode_frame(hr_frame, config, 3.2)
+        assert result.fps > 24.0
+
+    def test_lr_slow_realtime_feasible_at_moderate_configuration(self, transcoder, lr_frame):
+        """LR videos use the slow preset and must be real-time with ~5 threads."""
+        config = EncoderConfig(qp=32, threads=5, preset=Preset.SLOW)
+        result = transcoder.transcode_frame(lr_frame, config, 3.2)
+        assert result.fps > 24.0
+
+    def test_activity_factor_delegates_to_encoder(self, transcoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        assert transcoder.activity_factor(hr_frame, config) == pytest.approx(
+            transcoder.encoder.activity_factor(hr_frame, config)
+        )
+
+    def test_contention_scale_is_passed_through(self, transcoder, hr_frame):
+        config = EncoderConfig(qp=32, threads=8)
+        free = transcoder.transcode_frame(hr_frame, config, 3.2, contention_scale=1.0)
+        contended = transcoder.transcode_frame(hr_frame, config, 3.2, contention_scale=0.6)
+        assert contended.fps < free.fps

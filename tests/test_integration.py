@@ -1,0 +1,107 @@
+"""Integration tests: end-to-end behaviour of the full system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MamutConfig
+from repro.core.mamut import MamutController
+from repro.manager.factories import heuristic_factory, mamut_factory, static_factory
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.runner import ExperimentRunner
+from repro.manager.scenario import scenario_one, scenario_two
+from repro.manager.session import TranscodingSession
+from repro.metrics.qos import qos_violation_pct
+from repro.platform.server import MulticoreServer
+from repro.video.catalog import make_sequence
+from repro.video.request import TranscodingRequest
+
+
+class TestSingleVideoEndToEnd:
+    def test_mamut_learns_to_serve_one_hr_video(self):
+        """Over a long single-video run, the second half must violate QoS far
+        less often than the first half (the controller is learning)."""
+        sequence = make_sequence("Cactus", num_frames=900, seed=0)
+        request = TranscodingRequest(user_id="u", sequence=sequence)
+        controller = MamutController(MamutConfig.for_request(request, seed=0))
+        session = TranscodingSession(request, controller)
+        result = Orchestrator([session], server=MulticoreServer()).run()
+        records = result.records_by_session["u"]
+        first_half = qos_violation_pct(records[:300])
+        second_half = qos_violation_pct(records[-300:])
+        assert second_half < first_half
+        assert second_half < 50.0
+
+    def test_static_max_configuration_meets_realtime_for_one_hr_video(self):
+        specs = scenario_one(1, 0, num_frames=60, seed=0)
+        runner = ExperimentRunner(seed=0)
+        result = runner.run("static", static_factory(37, 12, 3.2), specs)
+        assert result.qos_violation_pct < 5.0
+        assert result.mean_fps > 24.0
+
+
+class TestMultiUserEndToEnd:
+    def test_full_pipeline_runs_for_a_mixed_workload(self):
+        specs = scenario_two(1, 1, followers=1, frames_per_video=48, seed=0)
+        runner = ExperimentRunner(seed=0)
+        results = runner.compare(
+            {"MAMUT": mamut_factory(), "Heuristic": heuristic_factory()},
+            specs,
+            warmup_videos=1,
+        )
+        for result in results.values():
+            assert result.mean_power_w > 40.0
+            assert 0.0 <= result.qos_violation_pct <= 100.0
+            assert result.mean_threads >= 1.0
+            assert 1.6 - 1e-6 <= result.mean_frequency_ghz <= 3.2 + 1e-6
+
+    def test_saturation_degrades_qos_for_everyone(self):
+        """Paper Sec. V-B/V-C: when the machine saturates, violations rise."""
+        runner = ExperimentRunner(seed=1)
+        light = runner.run(
+            "mamut-light", mamut_factory(), scenario_one(1, 0, num_frames=96, seed=1)
+        )
+        heavy = runner.run(
+            "mamut-heavy", mamut_factory(), scenario_one(5, 0, num_frames=96, seed=1)
+        )
+        assert heavy.qos_violation_pct > light.qos_violation_pct
+
+    def test_heuristic_runs_at_higher_frequency_than_mamut(self):
+        """Table I shape: the heuristic pins the frequency near the maximum,
+        MAMUT trades threads for frequency."""
+        specs = scenario_one(1, 1, num_frames=240, seed=2)
+        runner = ExperimentRunner(seed=2)
+        results = runner.compare(
+            {"Heuristic": heuristic_factory(), "MAMUT": mamut_factory()},
+            specs,
+            warmup_videos=1,
+        )
+        assert (
+            results["Heuristic"].mean_frequency_ghz
+            > results["MAMUT"].mean_frequency_ghz - 0.05
+        )
+
+    def test_mamut_saves_power_compared_to_the_heuristic(self):
+        """Headline claim: MAMUT reduces power versus the heuristic approach."""
+        specs = scenario_one(1, 1, num_frames=240, seed=3)
+        runner = ExperimentRunner(seed=3)
+        results = runner.compare(
+            {"Heuristic": heuristic_factory(), "MAMUT": mamut_factory()},
+            specs,
+            warmup_videos=1,
+        )
+        assert results["MAMUT"].mean_power_w < results["Heuristic"].mean_power_w
+
+    def test_power_cap_is_respected_on_average(self):
+        specs = scenario_one(2, 2, num_frames=96, seed=4)
+        runner = ExperimentRunner(power_cap_w=120.0, seed=4)
+        result = runner.run("mamut", mamut_factory(power_cap_w=120.0), specs)
+        assert result.mean_power_w < 135.0
+
+    def test_reproducibility_of_a_full_comparison(self):
+        specs = scenario_one(1, 1, num_frames=72, seed=5)
+        a = ExperimentRunner(seed=5).run("MAMUT", mamut_factory(), specs)
+        b = ExperimentRunner(seed=5).run("MAMUT", mamut_factory(), specs)
+        assert a.mean_power_w == pytest.approx(b.mean_power_w)
+        assert a.mean_fps == pytest.approx(b.mean_fps)
+        assert a.qos_violation_pct == pytest.approx(b.qos_violation_pct)

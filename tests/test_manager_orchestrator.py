@@ -1,0 +1,98 @@
+"""Unit tests for repro.manager.orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.heuristic import HeuristicController
+from repro.baselines.static import StaticController
+from repro.errors import ScenarioError
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.session import TranscodingSession
+from repro.platform.dvfs import DvfsPolicy
+from repro.platform.server import MulticoreServer
+from repro.core.mamut import MamutController
+from repro.video.catalog import make_sequence
+from repro.video.request import TranscodingRequest
+
+
+def session(user_id="u0", name="Kimono", num_frames=10, controller=None, threads=4):
+    video = make_sequence(name, num_frames=num_frames, seed=hash(user_id) % 1000)
+    request = TranscodingRequest(user_id=user_id, sequence=video)
+    return TranscodingSession(
+        request=request,
+        controller=controller if controller is not None else StaticController(32, threads, 3.2),
+    )
+
+
+class TestOrchestrator:
+    def test_single_session_run(self):
+        result = Orchestrator([session(num_frames=12)]).run()
+        assert result.steps == 12
+        assert len(result.records_by_session["u0"]) == 12
+        assert len(result.power_samples) == 12
+        assert all(sample.active_sessions == 1 for sample in result.power_samples)
+
+    def test_multi_session_run_until_all_finish(self):
+        sessions = [
+            session("a", "Kimono", num_frames=6),
+            session("b", "BQMall", num_frames=10),
+        ]
+        result = Orchestrator(sessions).run()
+        assert result.steps == 10
+        assert len(result.records_by_session["a"]) == 6
+        assert len(result.records_by_session["b"]) == 10
+        # After session `a` finishes, only one session remains active.
+        assert result.power_samples[-1].active_sessions == 1
+
+    def test_max_steps_truncates_the_run(self):
+        result = Orchestrator([session(num_frames=50)]).run(max_steps=5)
+        assert result.steps == 5
+        assert len(result.records_by_session["u0"]) == 5
+
+    def test_duplicate_session_ids_rejected(self):
+        with pytest.raises(ScenarioError):
+            Orchestrator([session("x"), session("x")])
+
+    def test_empty_session_list_rejected(self):
+        with pytest.raises(ScenarioError):
+            Orchestrator([])
+
+    def test_summary_has_all_sessions(self):
+        sessions = [session("a", num_frames=8), session("b", "BQMall", num_frames=8)]
+        summary = Orchestrator(sessions).run().summary()
+        assert set(summary.sessions) == {"a", "b"}
+        assert summary.mean_power_w > 0
+        assert summary.duration_s > 0
+
+    def test_power_recorded_in_meter(self):
+        orchestrator = Orchestrator([session(num_frames=10)])
+        orchestrator.run()
+        assert orchestrator.meter.energy_joules > 0
+
+    def test_chip_wide_controller_switches_server_policy(self):
+        server = MulticoreServer()
+        assert server.dvfs_policy is DvfsPolicy.PER_CORE
+        Orchestrator([session(controller=HeuristicController())], server=server)
+        assert server.dvfs_policy is DvfsPolicy.CHIP_WIDE
+
+    def test_per_core_controllers_keep_server_policy(self):
+        server = MulticoreServer()
+        Orchestrator([session(controller=MamutController())], server=server)
+        assert server.dvfs_policy is DvfsPolicy.PER_CORE
+
+    def test_contention_reduces_throughput(self):
+        """Running many heavy sessions must reduce per-session FPS compared to
+        running one session alone at the same configuration."""
+        alone = Orchestrator([session("solo", "Cactus", 10, threads=12)]).run()
+        crowd = Orchestrator(
+            [session(f"s{i}", "Cactus", 10, threads=12) for i in range(4)]
+        ).run()
+        fps_alone = alone.summary().sessions["solo"].mean_fps
+        fps_crowded = crowd.summary().sessions["s0"].mean_fps
+        assert fps_crowded < fps_alone
+
+    def test_all_records_flattening(self):
+        sessions = [session("a", num_frames=5), session("b", "BQMall", num_frames=5)]
+        result = Orchestrator(sessions).run()
+        assert len(result.all_records()) == 10

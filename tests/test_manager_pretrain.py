@@ -1,0 +1,46 @@
+"""Unit tests for repro.manager.pretrain."""
+
+from __future__ import annotations
+
+from repro.manager.pretrain import pretrain_mamut, pretrained_mamut_factory
+from repro.manager.runner import ExperimentRunner
+from repro.manager.scenario import scenario_one
+from repro.video.sequence import ResolutionClass
+
+
+class TestPretrain:
+    def test_pretraining_produces_knowledge_for_all_agents(self):
+        snapshot = pretrain_mamut(ResolutionClass.HR, frames=300, seed=0)
+        assert set(snapshot["agents"]) == {"qp", "threads", "dvfs"}
+        assert all(agent["q_values"] for agent in snapshot["agents"].values())
+
+    def test_pretrained_factory_seeds_new_controllers(self, hr_request):
+        snapshot = pretrain_mamut(ResolutionClass.HR, frames=300, seed=0)
+        factory = pretrained_mamut_factory({ResolutionClass.HR: snapshot})
+        controller = factory(hr_request, seed=5)
+        assert all(
+            entry["q_entries"] > 0 for entry in controller.summary().values()
+        )
+
+    def test_factory_without_knowledge_for_a_class_starts_cold(self, lr_request):
+        snapshot = pretrain_mamut(ResolutionClass.HR, frames=300, seed=0)
+        factory = pretrained_mamut_factory({ResolutionClass.HR: snapshot})
+        controller = factory(lr_request, seed=5)
+        assert all(
+            entry["q_entries"] == 0 for entry in controller.summary().values()
+        )
+
+    def test_pretrained_controller_beats_cold_start_on_short_runs(self):
+        """With only a short measured window, a pre-trained MAMUT should not
+        be worse than a cold-started one on the same workload."""
+        snapshot = pretrain_mamut(ResolutionClass.HR, frames=1200, seed=0)
+        specs = scenario_one(1, 0, num_frames=120, seed=1)
+        runner = ExperimentRunner(seed=1)
+
+        from repro.manager.factories import mamut_factory
+
+        cold = runner.run("cold", mamut_factory(), specs)
+        warm = runner.run(
+            "warm", pretrained_mamut_factory({ResolutionClass.HR: snapshot}), specs
+        )
+        assert warm.qos_violation_pct <= cold.qos_violation_pct + 10.0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.manager.scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.manager.scenario import SessionSpec, scenario_label, scenario_one, scenario_two
+from repro.video.sequence import ResolutionClass
+
+
+class TestScenarioOne:
+    def test_counts_and_classes(self):
+        specs = scenario_one(num_hr=2, num_lr=3, num_frames=50)
+        assert len(specs) == 5
+        hr = [s for s in specs if s.resolution_class is ResolutionClass.HR]
+        lr = [s for s in specs if s.resolution_class is ResolutionClass.LR]
+        assert len(hr) == 2 and len(lr) == 3
+
+    def test_single_video_playlists(self):
+        specs = scenario_one(1, 1, num_frames=40)
+        assert all(len(spec.playlist) == 1 for spec in specs)
+        assert all(spec.total_frames == 40 for spec in specs)
+
+    def test_unique_user_ids(self):
+        specs = scenario_one(3, 4, num_frames=10)
+        ids = [spec.request.user_id for spec in specs]
+        assert len(set(ids)) == len(ids)
+
+    def test_different_users_get_different_content(self):
+        specs = scenario_one(2, 0, num_frames=30)
+        a, b = specs[0].playlist[0], specs[1].playlist[0]
+        assert [f.complexity for f in a] != [f.complexity for f in b]
+
+    def test_reproducible_with_seed(self):
+        a = scenario_one(1, 1, num_frames=20, seed=5)
+        b = scenario_one(1, 1, num_frames=20, seed=5)
+        assert [f.complexity for f in a[0].playlist[0]] == [
+            f.complexity for f in b[0].playlist[0]
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            scenario_one(0, 0)
+        with pytest.raises(ScenarioError):
+            scenario_one(1, 1, num_frames=0)
+        with pytest.raises(ScenarioError):
+            scenario_one(-1, 2)
+
+
+class TestScenarioTwo:
+    def test_playlist_length_is_one_plus_followers(self):
+        specs = scenario_two(1, 1, followers=4, frames_per_video=30)
+        assert all(len(spec.playlist) == 5 for spec in specs)
+        assert all(spec.total_frames == 150 for spec in specs)
+
+    def test_followers_share_the_resolution_class(self):
+        specs = scenario_two(2, 2, followers=3, frames_per_video=20)
+        for spec in specs:
+            assert all(
+                video.resolution_class is spec.resolution_class for video in spec.playlist
+            )
+
+    def test_reproducible_with_seed(self):
+        a = scenario_two(1, 1, followers=2, frames_per_video=20, seed=9)
+        b = scenario_two(1, 1, followers=2, frames_per_video=20, seed=9)
+        assert [v.name for v in a[0].playlist] == [v.name for v in b[0].playlist]
+
+    def test_zero_followers(self):
+        specs = scenario_two(1, 0, followers=0, frames_per_video=25)
+        assert len(specs[0].playlist) == 1
+
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            scenario_two(0, 0)
+        with pytest.raises(ScenarioError):
+            scenario_two(1, 1, followers=-1)
+        with pytest.raises(ScenarioError):
+            scenario_two(1, 1, frames_per_video=0)
+
+
+class TestHelpers:
+    def test_scenario_label(self):
+        assert scenario_label(scenario_one(2, 3, num_frames=5)) == "2HR3LR"
+        assert scenario_label(scenario_one(2, 0, num_frames=5)) == "2HR"
+        assert scenario_label(scenario_one(0, 4, num_frames=5)) == "4LR"
+        assert scenario_label([]) == "empty"
+
+    def test_session_spec_requires_playlist(self):
+        specs = scenario_one(1, 0, num_frames=5)
+        with pytest.raises(ScenarioError):
+            SessionSpec(request=specs[0].request, playlist=())

@@ -1,0 +1,56 @@
+"""Unit tests for repro.platform.meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.meter import PowerMeter
+
+
+class TestPowerMeter:
+    def test_energy_accumulates(self):
+        meter = PowerMeter()
+        meter.record(100.0, 2.0)
+        meter.record(50.0, 2.0)
+        assert meter.energy_joules == pytest.approx(300.0)
+        assert meter.elapsed_seconds == pytest.approx(4.0)
+
+    def test_average_power(self):
+        meter = PowerMeter()
+        meter.record(100.0, 1.0)
+        meter.record(50.0, 3.0)
+        assert meter.average_power_w() == pytest.approx((100.0 + 150.0) / 4.0)
+
+    def test_empty_meter_averages_zero(self):
+        meter = PowerMeter()
+        assert meter.average_power_w() == 0.0
+        assert meter.windowed_average_w() == 0.0
+
+    def test_windowed_average_forgets_old_samples(self):
+        meter = PowerMeter(window_seconds=1.0)
+        meter.record(200.0, 1.0)
+        meter.record(100.0, 1.0)
+        assert meter.windowed_average_w() == pytest.approx(100.0)
+
+    def test_zero_duration_samples_are_ignored(self):
+        meter = PowerMeter()
+        meter.record(100.0, 0.0)
+        assert meter.energy_joules == 0.0
+
+    def test_reset(self):
+        meter = PowerMeter()
+        meter.record(100.0, 1.0)
+        meter.reset()
+        assert meter.energy_joules == 0.0
+        assert meter.elapsed_seconds == 0.0
+        assert meter.windowed_average_w() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            PowerMeter(window_seconds=0.0)
+        meter = PowerMeter()
+        with pytest.raises(PlatformError):
+            meter.record(-1.0, 1.0)
+        with pytest.raises(PlatformError):
+            meter.record(1.0, -1.0)

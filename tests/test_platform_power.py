@@ -1,0 +1,117 @@
+"""Unit tests for repro.platform.power."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.power import PowerModel, PowerModelParameters, VoltageTable
+
+
+class TestVoltageTable:
+    def test_default_table_endpoints(self):
+        table = VoltageTable()
+        assert table.max_frequency_ghz == pytest.approx(3.2)
+        assert table.voltage(3.2) == pytest.approx(table.max_voltage)
+
+    def test_voltage_is_monotone_in_frequency(self):
+        table = VoltageTable()
+        freqs = [1.2, 1.6, 1.9, 2.3, 2.6, 2.9, 3.2]
+        volts = [table.voltage(f) for f in freqs]
+        assert volts == sorted(volts)
+
+    def test_interpolation_between_points(self):
+        table = VoltageTable({1.0: 0.8, 2.0: 1.0})
+        assert table.voltage(1.5) == pytest.approx(0.9)
+
+    def test_clamping_outside_range(self):
+        table = VoltageTable({1.0: 0.8, 2.0: 1.0})
+        assert table.voltage(0.5) == pytest.approx(0.8)
+        assert table.voltage(3.0) == pytest.approx(1.0)
+
+    def test_relative_quantities_bounded(self):
+        table = VoltageTable()
+        for f in (1.2, 1.9, 2.6, 3.2):
+            assert 0.0 < table.relative_voltage(f) <= 1.0
+            assert 0.0 < table.relative_dynamic(f) <= 1.0
+        assert table.relative_dynamic(3.2) == pytest.approx(1.0)
+
+    def test_invalid_tables_rejected(self):
+        with pytest.raises(PlatformError):
+            VoltageTable({1.0: 0.8})
+        with pytest.raises(PlatformError):
+            VoltageTable({1.0: 1.0, 2.0: 0.9})
+        with pytest.raises(PlatformError):
+            VoltageTable({-1.0: 0.5, 2.0: 1.0})
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(PlatformError):
+            VoltageTable().voltage(0.0)
+
+
+class TestPowerModelParameters:
+    def test_defaults_valid(self):
+        PowerModelParameters()
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            PowerModelParameters(core_dynamic_w=0.0)
+        with pytest.raises(PlatformError):
+            PowerModelParameters(smt_activity_bonus=2.0)
+        with pytest.raises(PlatformError):
+            PowerModelParameters(idle_activity_fraction=-0.1)
+
+
+class TestPowerModel:
+    def test_busy_core_power_increases_with_frequency(self):
+        model = PowerModel()
+        powers = [model.busy_core_power(f, 1.0) for f in (1.6, 2.3, 2.9, 3.2)]
+        assert powers == sorted(powers)
+
+    def test_busy_core_power_increases_with_activity(self):
+        model = PowerModel()
+        assert model.busy_core_power(3.2, 1.0) > model.busy_core_power(3.2, 0.3)
+
+    def test_smt_sibling_adds_power(self):
+        model = PowerModel()
+        assert model.busy_core_power(3.2, 1.0, smt_threads=2) > model.busy_core_power(
+            3.2, 1.0, smt_threads=1
+        )
+
+    def test_idle_core_cheaper_than_busy_core(self):
+        model = PowerModel()
+        assert model.idle_core_power(3.2) < model.busy_core_power(3.2, 1.0)
+
+    def test_idle_core_cheaper_at_low_frequency(self):
+        model = PowerModel()
+        assert model.idle_core_power(1.2) < model.idle_core_power(3.2)
+
+    def test_package_power_includes_base(self):
+        model = PowerModel()
+        assert model.package_power([], []) == pytest.approx(model.params.base_power_w)
+
+    def test_package_power_adds_components(self):
+        model = PowerModel()
+        power = model.package_power([(3.2, 1.0, 1)], [1.2] * 15)
+        expected = (
+            model.params.base_power_w
+            + model.busy_core_power(3.2, 1.0, 1)
+            + 15 * model.idle_core_power(1.2)
+        )
+        assert power == pytest.approx(expected)
+
+    def test_single_video_power_matches_fig2_range(self):
+        """Fig. 2 calibration: one HR encode at 3.2 GHz spans roughly 50-90 W."""
+        model = PowerModel()
+        one_thread = model.package_power([(3.2, 1.0, 1)], [1.2] * 15)
+        ten_threads = model.package_power([(3.2, 0.7, 1)] * 10, [1.2] * 6)
+        assert 45.0 <= one_thread <= 65.0
+        assert 70.0 <= ten_threads <= 95.0
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(PlatformError):
+            PowerModel().busy_core_power(3.2, 1.5)
+
+    def test_invalid_smt_threads_rejected(self):
+        with pytest.raises(PlatformError):
+            PowerModel().busy_core_power(3.2, 1.0, smt_threads=0)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.platform.thermal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.metrics.records import PowerSample
+from repro.platform.thermal import ThermalModel, ThermalModelParameters, temperature_trace
+
+
+class TestThermalModelParameters:
+    def test_defaults_valid(self):
+        ThermalModelParameters()
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            ThermalModelParameters(thermal_resistance_c_per_w=0.0)
+        with pytest.raises(PlatformError):
+            ThermalModelParameters(time_constant_s=0.0)
+        with pytest.raises(PlatformError):
+            ThermalModelParameters(ambient_c=50.0, critical_temperature_c=45.0)
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self):
+        model = ThermalModel()
+        assert model.temperature_c == pytest.approx(model.params.ambient_c)
+
+    def test_steady_state(self):
+        model = ThermalModel()
+        expected = model.params.ambient_c + model.params.thermal_resistance_c_per_w * 100.0
+        assert model.steady_state_c(100.0) == pytest.approx(expected)
+
+    def test_converges_to_steady_state(self):
+        model = ThermalModel()
+        for _ in range(200):
+            model.step(100.0, 1.0)
+        assert model.temperature_c == pytest.approx(model.steady_state_c(100.0), abs=0.1)
+
+    def test_temperature_rises_under_load_and_falls_when_idle(self):
+        model = ThermalModel()
+        model.step(120.0, 10.0)
+        hot = model.temperature_c
+        assert hot > model.params.ambient_c
+        model.step(0.0, 60.0)
+        assert model.temperature_c < hot
+
+    def test_monotone_in_power(self):
+        low, high = ThermalModel(), ThermalModel()
+        low.step(60.0, 30.0)
+        high.step(120.0, 30.0)
+        assert high.temperature_c > low.temperature_c
+
+    def test_long_step_equals_many_short_steps(self):
+        one_shot = ThermalModel()
+        one_shot.step(100.0, 50.0)
+        stepped = ThermalModel()
+        for _ in range(50):
+            stepped.step(100.0, 1.0)
+        assert one_shot.temperature_c == pytest.approx(stepped.temperature_c, abs=1e-6)
+
+    def test_headroom_and_throttling(self):
+        model = ThermalModel(ThermalModelParameters(critical_temperature_c=60.0))
+        assert model.headroom_c() > 0
+        assert not model.is_throttling()
+        for _ in range(100):
+            model.step(200.0, 5.0)
+        assert model.is_throttling()
+
+    def test_reset(self):
+        model = ThermalModel()
+        model.step(100.0, 30.0)
+        model.reset()
+        assert model.temperature_c == pytest.approx(model.params.ambient_c)
+
+    def test_validation(self):
+        model = ThermalModel()
+        with pytest.raises(PlatformError):
+            model.step(-1.0, 1.0)
+        with pytest.raises(PlatformError):
+            model.step(1.0, -1.0)
+
+
+class TestTemperatureTrace:
+    def test_trace_from_power_samples(self):
+        samples = [PowerSample(step=i, power_w=110.0, duration_s=0.05, active_sessions=2) for i in range(100)]
+        trace = temperature_trace(samples)
+        assert len(trace) == 100
+        assert trace[-1] > trace[0]
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:]))

@@ -1,0 +1,71 @@
+"""Unit tests for repro.platform.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.topology import CpuTopology
+
+
+class TestCpuTopology:
+    def test_defaults_match_the_paper_platform(self):
+        topology = CpuTopology()
+        assert topology.physical_cores == 16
+        assert topology.hardware_threads == 32
+
+    def test_core_ids(self):
+        assert list(CpuTopology().core_ids()) == list(range(16))
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            CpuTopology(sockets=0)
+        with pytest.raises(PlatformError):
+            CpuTopology(cores_per_socket=0)
+        with pytest.raises(PlatformError):
+            CpuTopology(smt=0)
+        with pytest.raises(PlatformError):
+            CpuTopology(smt_efficiency=0.3)
+
+
+class TestEffectiveCapacity:
+    def test_under_core_count_is_linear(self):
+        topology = CpuTopology()
+        for threads in range(0, 17):
+            assert topology.effective_capacity(threads) == pytest.approx(float(threads))
+
+    def test_smt_region_adds_partial_capacity(self):
+        topology = CpuTopology()
+        at_cores = topology.effective_capacity(16)
+        at_ht = topology.effective_capacity(32)
+        assert at_cores < at_ht < 32.0
+        assert at_ht == pytest.approx(2 * 16 * topology.smt_efficiency)
+
+    def test_capacity_saturates_beyond_hardware_threads(self):
+        topology = CpuTopology()
+        assert topology.effective_capacity(40) == pytest.approx(topology.effective_capacity(32))
+
+    def test_capacity_is_monotone(self):
+        topology = CpuTopology()
+        capacities = [topology.effective_capacity(t) for t in range(0, 64)]
+        assert all(b >= a for a, b in zip(capacities, capacities[1:]))
+
+    def test_negative_threads_raise(self):
+        with pytest.raises(PlatformError):
+            CpuTopology().effective_capacity(-1)
+
+
+class TestContentionScale:
+    def test_no_contention_below_core_count(self):
+        topology = CpuTopology()
+        assert topology.contention_scale(10) == pytest.approx(1.0)
+        assert topology.contention_scale(16) == pytest.approx(1.0)
+
+    def test_scale_decreases_with_oversubscription(self):
+        topology = CpuTopology()
+        scales = [topology.contention_scale(t) for t in (16, 24, 32, 48, 64)]
+        assert all(b <= a for a, b in zip(scales, scales[1:]))
+        assert all(0.0 < s <= 1.0 for s in scales)
+
+    def test_zero_threads_scale_is_one(self):
+        assert CpuTopology().contention_scale(0) == pytest.approx(1.0)

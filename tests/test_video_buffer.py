@@ -1,0 +1,77 @@
+"""Unit tests for repro.video.buffer (client playback model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VideoError
+from repro.video.buffer import PlaybackBuffer, playback_stats_from_records
+from tests.test_metrics import record
+
+
+class TestPlaybackBuffer:
+    def test_fast_production_never_stalls(self):
+        buffer = PlaybackBuffer(target_fps=24.0, startup_frames=4)
+        stats = buffer.simulate([1.0 / 48.0] * 100)
+        assert stats.stall_count == 0
+        assert stats.stall_time_s == 0.0
+        assert stats.stall_ratio == 0.0
+        assert stats.frames == 100
+
+    def test_slow_production_stalls(self):
+        buffer = PlaybackBuffer(target_fps=24.0, startup_frames=4)
+        stats = buffer.simulate([1.0 / 12.0] * 100)
+        assert stats.stall_count >= 1
+        assert stats.stall_time_s > 0.0
+        assert stats.stall_ratio > 0.0
+
+    def test_buffered_frames_absorb_a_temporary_dip(self):
+        """Paper Sec. III-D-a: spare frames encoded above the target rate can
+        compensate a temporary drop below the target."""
+        fast, slow = 1.0 / 60.0, 1.0 / 20.0
+        times = [fast] * 60 + [slow] * 5 + [fast] * 60
+        stats = PlaybackBuffer(target_fps=24.0, startup_frames=8).simulate(times)
+        assert stats.stall_count == 0
+
+    def test_sustained_slowdown_cannot_be_absorbed(self):
+        fast, slow = 1.0 / 60.0, 1.0 / 12.0
+        times = [fast] * 30 + [slow] * 200
+        stats = PlaybackBuffer(target_fps=24.0, startup_frames=8).simulate(times)
+        assert stats.stall_count >= 1
+
+    def test_startup_delay_accounts_for_initial_buffering(self):
+        buffer = PlaybackBuffer(target_fps=24.0, startup_frames=10)
+        stats = buffer.simulate([0.1] * 50)
+        assert stats.startup_delay_s == pytest.approx(1.0)
+
+    def test_max_buffer_tracks_overproduction(self):
+        stats = PlaybackBuffer(target_fps=24.0, startup_frames=4).simulate([1.0 / 96.0] * 50)
+        assert stats.max_buffer_frames > 0
+
+    def test_validation(self):
+        with pytest.raises(VideoError):
+            PlaybackBuffer(target_fps=0.0)
+        with pytest.raises(VideoError):
+            PlaybackBuffer(startup_frames=0)
+        buffer = PlaybackBuffer()
+        with pytest.raises(VideoError):
+            buffer.simulate([])
+        with pytest.raises(VideoError):
+            buffer.simulate([0.0, 0.1])
+
+
+class TestPlaybackFromRecords:
+    def test_stats_from_frame_records(self):
+        records = [record(step=i, fps=30.0) for i in range(50)]
+        stats = playback_stats_from_records(records)
+        assert stats.frames == 50
+        assert stats.stall_count == 0
+
+    def test_slow_records_stall(self):
+        records = [record(step=i, fps=12.0) for i in range(50)]
+        stats = playback_stats_from_records(records)
+        assert stats.stall_count >= 1
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(VideoError):
+            playback_stats_from_records([])

@@ -1,0 +1,89 @@
+"""Unit tests for repro.video.catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.catalog import (
+    SEQUENCE_CATALOG,
+    catalog_entries,
+    hr_sequences,
+    lr_sequences,
+    make_sequence,
+    random_sequence,
+)
+from repro.video.sequence import ResolutionClass
+
+
+class TestCatalog:
+    def test_catalog_contains_both_classes(self):
+        assert len(hr_sequences()) >= 4
+        assert len(lr_sequences()) >= 4
+
+    def test_hr_and_lr_are_disjoint(self):
+        assert not set(hr_sequences()) & set(lr_sequences())
+
+    def test_every_entry_name_matches_key(self):
+        for name, entry in SEQUENCE_CATALOG.items():
+            assert entry.name == name
+
+    def test_catalog_entries_filter(self):
+        hr_entries = list(catalog_entries(ResolutionClass.HR))
+        assert all(e.resolution_class is ResolutionClass.HR for e in hr_entries)
+        assert len(list(catalog_entries())) == len(SEQUENCE_CATALOG)
+
+
+class TestMakeSequence:
+    def test_make_known_sequence(self):
+        sequence = make_sequence("Kimono", num_frames=50, seed=3)
+        assert sequence.name == "Kimono"
+        assert len(sequence) == 50
+        assert sequence.resolution_class is ResolutionClass.HR
+
+    def test_lr_sequence_dimensions(self):
+        sequence = make_sequence("RaceHorses", num_frames=20)
+        assert (sequence.width, sequence.height) == (832, 480)
+
+    def test_default_num_frames_from_catalog(self):
+        sequence = make_sequence("Kimono")
+        assert len(sequence) == SEQUENCE_CATALOG["Kimono"].num_frames
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(VideoError, match="unknown sequence"):
+            make_sequence("NotAVideo")
+
+    def test_same_seed_reproducible(self):
+        a = make_sequence("Cactus", num_frames=30, seed=9)
+        b = make_sequence("Cactus", num_frames=30, seed=9)
+        assert [f.complexity for f in a] == [f.complexity for f in b]
+
+
+class TestRandomSequence:
+    def test_respects_resolution_class(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assert (
+                random_sequence(ResolutionClass.HR, rng=rng).resolution_class
+                is ResolutionClass.HR
+            )
+            assert (
+                random_sequence(ResolutionClass.LR, rng=rng).resolution_class
+                is ResolutionClass.LR
+            )
+
+    def test_integer_seed_is_reproducible(self):
+        a = random_sequence(ResolutionClass.HR, rng=5, num_frames=20)
+        b = random_sequence(ResolutionClass.HR, rng=5, num_frames=20)
+        assert a.name == b.name
+        assert [f.complexity for f in a] == [f.complexity for f in b]
+
+    def test_num_frames_override(self):
+        sequence = random_sequence(ResolutionClass.LR, rng=1, num_frames=17)
+        assert len(sequence) == 17
+
+    def test_draws_cover_multiple_names(self):
+        rng = np.random.default_rng(123)
+        names = {random_sequence(ResolutionClass.HR, rng=rng).name for _ in range(30)}
+        assert len(names) > 1

@@ -1,0 +1,89 @@
+"""Unit tests for repro.video.content."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VideoError
+from repro.video.content import ContentModel, ContentProfile, FrameContent
+
+
+class TestContentProfile:
+    def test_defaults_are_valid(self):
+        profile = ContentProfile()
+        assert profile.complexity == pytest.approx(1.0)
+        assert 0.0 <= profile.motion <= 1.0
+
+    def test_rejects_non_positive_complexity(self):
+        with pytest.raises(VideoError):
+            ContentProfile(complexity=0.0)
+        with pytest.raises(VideoError):
+            ContentProfile(complexity=-1.0)
+
+    def test_rejects_motion_out_of_range(self):
+        with pytest.raises(VideoError):
+            ContentProfile(motion=1.5)
+        with pytest.raises(VideoError):
+            ContentProfile(motion=-0.1)
+
+    def test_rejects_negative_variability(self):
+        with pytest.raises(VideoError):
+            ContentProfile(variability=-0.01)
+
+    def test_rejects_invalid_scene_change_rate(self):
+        with pytest.raises(VideoError):
+            ContentProfile(scene_change_rate=1.5)
+
+
+class TestContentModel:
+    def test_same_seed_same_stream(self):
+        a = ContentModel(seed=42).generate(100)
+        b = ContentModel(seed=42).generate(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ContentModel(seed=1).generate(100)
+        b = ContentModel(seed=2).generate(100)
+        assert a != b
+
+    def test_reset_rewinds_the_stream(self):
+        model = ContentModel(seed=7)
+        first = model.generate(50)
+        model.reset()
+        second = model.generate(50)
+        assert first == second
+
+    def test_complexity_and_motion_stay_in_range(self):
+        model = ContentModel(ContentProfile(variability=0.2, motion=0.9), seed=3)
+        for content in model.generate(500):
+            assert 0.4 <= content.complexity <= 2.0
+            assert 0.0 <= content.motion <= 1.0
+
+    def test_zero_variability_keeps_complexity_constant(self):
+        profile = ContentProfile(complexity=1.2, variability=0.0, scene_change_rate=0.0)
+        contents = ContentModel(profile, seed=0).generate(50)
+        assert all(c.complexity == pytest.approx(1.2) for c in contents)
+        assert not any(c.scene_change for c in contents)
+
+    def test_scene_changes_occur_with_high_rate(self):
+        profile = ContentProfile(scene_change_rate=0.5)
+        contents = ContentModel(profile, seed=0).generate(200)
+        assert sum(1 for c in contents if c.scene_change) > 50
+
+    def test_mean_complexity_tracks_profile(self):
+        profile = ContentProfile(complexity=1.4, variability=0.05, scene_change_rate=0.0)
+        contents = ContentModel(profile, seed=5).generate(2000)
+        mean = sum(c.complexity for c in contents) / len(contents)
+        assert mean == pytest.approx(1.4, abs=0.15)
+
+    def test_generate_negative_raises(self):
+        with pytest.raises(VideoError):
+            ContentModel().generate(-1)
+
+    def test_generate_zero_returns_empty(self):
+        assert ContentModel().generate(0) == []
+
+    def test_frame_content_is_immutable(self):
+        content = FrameContent(complexity=1.0, motion=0.5)
+        with pytest.raises(Exception):
+            content.complexity = 2.0  # type: ignore[misc]

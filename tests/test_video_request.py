@@ -1,0 +1,35 @@
+"""Unit tests for repro.video.request."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VideoError
+from repro.video.catalog import make_sequence
+from repro.video.request import TranscodingRequest
+from repro.video.sequence import ResolutionClass
+
+
+class TestTranscodingRequest:
+    def test_defaults(self):
+        sequence = make_sequence("Cactus", num_frames=10)
+        request = TranscodingRequest(user_id="u1", sequence=sequence)
+        assert request.target_fps == pytest.approx(24.0)
+        assert request.bandwidth_mbps > 0
+        assert request.resolution_class is ResolutionClass.HR
+        assert request.num_frames == 10
+
+    def test_lr_classification(self):
+        sequence = make_sequence("BQMall", num_frames=10)
+        request = TranscodingRequest(user_id="u2", sequence=sequence)
+        assert request.resolution_class is ResolutionClass.LR
+
+    def test_invalid_target_fps(self):
+        sequence = make_sequence("Cactus", num_frames=5)
+        with pytest.raises(VideoError):
+            TranscodingRequest(user_id="u", sequence=sequence, target_fps=0)
+
+    def test_invalid_bandwidth(self):
+        sequence = make_sequence("Cactus", num_frames=5)
+        with pytest.raises(VideoError):
+            TranscodingRequest(user_id="u", sequence=sequence, bandwidth_mbps=-1)

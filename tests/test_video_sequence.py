@@ -1,0 +1,102 @@
+"""Unit tests for repro.video.sequence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import HR_RESOLUTION, LR_RESOLUTION
+from repro.errors import VideoError
+from repro.video.content import ContentProfile
+from repro.video.sequence import Frame, ResolutionClass, VideoSequence
+from repro.video.content import FrameContent
+
+
+class TestResolutionClass:
+    def test_dimensions(self):
+        assert ResolutionClass.HR.dimensions == HR_RESOLUTION
+        assert ResolutionClass.LR.dimensions == LR_RESOLUTION
+
+    def test_from_exact_dimensions(self):
+        assert ResolutionClass.from_dimensions(1920, 1080) is ResolutionClass.HR
+        assert ResolutionClass.from_dimensions(832, 480) is ResolutionClass.LR
+
+    def test_from_nearby_dimensions(self):
+        assert ResolutionClass.from_dimensions(1280, 720) is ResolutionClass.LR
+        assert ResolutionClass.from_dimensions(2560, 1440) is ResolutionClass.HR
+
+
+class TestFrame:
+    def test_properties(self):
+        frame = Frame(
+            index=3,
+            width=1920,
+            height=1080,
+            content=FrameContent(complexity=1.2, motion=0.6, scene_change=True),
+        )
+        assert frame.pixels == 1920 * 1080
+        assert frame.complexity == pytest.approx(1.2)
+        assert frame.motion == pytest.approx(0.6)
+        assert frame.is_scene_change is True
+
+
+class TestVideoSequence:
+    def make(self, **kwargs) -> VideoSequence:
+        defaults = dict(
+            name="test", width=1920, height=1080, frame_rate=24.0, num_frames=30, seed=0
+        )
+        defaults.update(kwargs)
+        return VideoSequence(**defaults)
+
+    def test_length_and_iteration(self):
+        sequence = self.make(num_frames=25)
+        assert len(sequence) == 25
+        assert len(list(sequence)) == 25
+        assert sequence[0].index == 0
+        assert sequence[24].index == 24
+
+    def test_frames_are_resolution_consistent(self):
+        sequence = self.make()
+        assert all(f.width == 1920 and f.height == 1080 for f in sequence)
+
+    def test_resolution_class(self):
+        assert self.make().resolution_class is ResolutionClass.HR
+        assert self.make(width=832, height=480).resolution_class is ResolutionClass.LR
+
+    def test_duration(self):
+        sequence = self.make(num_frames=48, frame_rate=24.0)
+        assert sequence.duration_seconds == pytest.approx(2.0)
+
+    def test_reproducible_with_seed(self):
+        a = self.make(seed=11)
+        b = self.make(seed=11)
+        assert [f.complexity for f in a] == [f.complexity for f in b]
+
+    def test_different_seed_changes_content(self):
+        a = self.make(seed=1, profile=ContentProfile(variability=0.1))
+        b = self.make(seed=2, profile=ContentProfile(variability=0.1))
+        assert [f.complexity for f in a] != [f.complexity for f in b]
+
+    def test_mean_statistics(self):
+        sequence = self.make(profile=ContentProfile(complexity=1.3, variability=0.0))
+        assert sequence.mean_complexity == pytest.approx(1.3)
+        assert 0.0 <= sequence.mean_motion <= 1.0
+
+    def test_invalid_resolution_raises(self):
+        with pytest.raises(VideoError):
+            self.make(width=0)
+        with pytest.raises(VideoError):
+            self.make(height=-1)
+
+    def test_invalid_frame_rate_raises(self):
+        with pytest.raises(VideoError):
+            self.make(frame_rate=0)
+
+    def test_invalid_num_frames_raises(self):
+        with pytest.raises(VideoError):
+            self.make(num_frames=0)
+
+    def test_frames_property_is_a_copy_view(self):
+        sequence = self.make()
+        frames = sequence.frames
+        assert isinstance(frames, tuple)
+        assert len(frames) == len(sequence)
