@@ -1,0 +1,84 @@
+"""Fleet-sizing sweep: server count x arrival rate under Poisson traffic.
+
+Not a paper figure — this exercises the cluster layer the paper never models:
+for each (servers, arrival rate) cell the sweep reports the fleet's
+QoS-violation rate and its watts per concurrent session, the two numbers a
+capacity planner trades off when sizing a transcoding fleet.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import (
+    CapacityThreshold,
+    ClusterOrchestrator,
+    LeastLoaded,
+    PoissonTraffic,
+    WorkloadGenerator,
+)
+from repro.metrics.cluster import ClusterSummary
+from repro.metrics.report import format_table
+
+SERVER_COUNTS = (1, 2, 4)
+ARRIVAL_RATES = {"low": 0.2, "high": 1.0}
+DURATION = 150
+SEED = 0
+
+
+def _run_cell(servers: int, rate: float) -> ClusterSummary:
+    workload = WorkloadGenerator(
+        PoissonTraffic(rate), seed=SEED, frames_per_video=48
+    )
+    cluster = ClusterOrchestrator(
+        servers,
+        workload,
+        admission=CapacityThreshold(max_sessions_per_server=4, max_queue=8),
+        dispatcher=LeastLoaded(),
+        seed=SEED,
+    )
+    return cluster.run(DURATION).summary()
+
+
+def _sweep() -> dict[tuple[int, str], ClusterSummary]:
+    return {
+        (servers, label): _run_cell(servers, rate)
+        for servers in SERVER_COUNTS
+        for label, rate in ARRIVAL_RATES.items()
+    }
+
+
+def test_cluster_scaling(run_once):
+    results = run_once(_sweep)
+
+    rows = [
+        [
+            f"{servers}srv/{label}",
+            summary.arrivals,
+            summary.admitted,
+            100.0 * summary.rejection_rate,
+            summary.qos_violation_pct,
+            summary.watts_per_session,
+            summary.fleet_mean_power_w,
+        ]
+        for (servers, label), summary in results.items()
+    ]
+    print("\nCluster scaling — servers x arrival rate")
+    print(
+        format_table(
+            ["cell", "arrivals", "admitted", "rej (%)", "Δ (%)", "W/session", "fleet W"],
+            rows,
+            "{:.1f}",
+        )
+    )
+
+    assert len(results) == len(SERVER_COUNTS) * len(ARRIVAL_RATES)
+    # Every cell admitted work and measured fleet power.
+    assert all(s.admitted > 0 for s in results.values())
+    assert all(s.fleet_mean_power_w > 0 for s in results.values())
+
+    # Shape checks: under high load, growing the fleet admits at least as
+    # many sessions and never increases the rejection rate.
+    high = [results[(servers, "high")] for servers in SERVER_COUNTS]
+    assert all(b.admitted >= a.admitted for a, b in zip(high, high[1:]))
+    assert all(b.rejection_rate <= a.rejection_rate for a, b in zip(high, high[1:]))
+    # Low-rate traffic on the biggest fleet is effectively never rejected.
+    assert results[(max(SERVER_COUNTS), "low")].rejection_rate < 0.05

@@ -64,7 +64,23 @@ from repro.manager import (
     scenario_two,
     static_factory,
 )
-from repro.metrics import ExperimentSummary, FrameRecord, SessionSummary
+from repro.cluster import (
+    AdmissionVerdict,
+    AlwaysAdmit,
+    CapacityThreshold,
+    ClusterOrchestrator,
+    ClusterResult,
+    CompositeTraffic,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    LeastLoaded,
+    PoissonTraffic,
+    PowerAware,
+    PowerHeadroom,
+    RoundRobin,
+    WorkloadGenerator,
+)
+from repro.metrics import ClusterSummary, ExperimentSummary, FrameRecord, SessionSummary
 from repro.platform import (
     CpuTopology,
     DvfsDriver,
@@ -122,7 +138,23 @@ __all__ = [
     "static_factory",
     "scenario_one",
     "scenario_two",
+    # cluster
+    "ClusterOrchestrator",
+    "ClusterResult",
+    "WorkloadGenerator",
+    "PoissonTraffic",
+    "DiurnalTraffic",
+    "FlashCrowdTraffic",
+    "CompositeTraffic",
+    "AdmissionVerdict",
+    "AlwaysAdmit",
+    "CapacityThreshold",
+    "PowerHeadroom",
+    "RoundRobin",
+    "LeastLoaded",
+    "PowerAware",
     # metrics
+    "ClusterSummary",
     "ExperimentSummary",
     "FrameRecord",
     "SessionSummary",

@@ -8,6 +8,7 @@ Provides quick access to the main experiments without writing Python::
     repro-mamut fig5 --frames 500
     repro-mamut table1
     repro-mamut table2 --mixes 1x1,2x2,3x3
+    repro-mamut cluster --servers 4 --arrival-rate 2.0 --duration 500
 
 (Equivalently: ``python -m repro.cli <command> ...``.)
 """
@@ -19,6 +20,19 @@ import sys
 from typing import Sequence
 
 from repro.analysis.figures import fig2_characterization, fig5_trace
+from repro.cluster import (
+    AlwaysAdmit,
+    CapacityThreshold,
+    ClusterOrchestrator,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    LeastLoaded,
+    PoissonTraffic,
+    PowerAware,
+    PowerHeadroom,
+    RoundRobin,
+    WorkloadGenerator,
+)
 from repro.analysis.tables import (
     fig4_scenario_one_sweep,
     table1_threads_frequency,
@@ -83,6 +97,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table2.add_argument("--frames-per-video", type=int, default=96)
     table2.add_argument("--warmup-videos", type=int, default=3)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="multi-server fleet under arriving traffic"
+    )
+    cluster.add_argument("--servers", type=int, default=4, help="servers in the fleet")
+    cluster.add_argument(
+        "--arrival-rate", type=float, default=2.0, help="expected requests per step"
+    )
+    cluster.add_argument("--duration", type=int, default=500, help="arrival window (steps)")
+    cluster.add_argument(
+        "--traffic",
+        choices=("poisson", "diurnal", "flash"),
+        default="poisson",
+        help="traffic model shaping the arrival rate",
+    )
+    cluster.add_argument(
+        "--admission",
+        choices=("always", "capacity", "power"),
+        default="capacity",
+        help="admission control policy",
+    )
+    cluster.add_argument(
+        "--dispatch",
+        choices=("round-robin", "least-loaded", "power-aware"),
+        default="least-loaded",
+        help="load-balancing policy",
+    )
+    cluster.add_argument(
+        "--max-sessions-per-server",
+        type=int,
+        default=4,
+        help="concurrency bound of the capacity admission policy",
+    )
+    cluster.add_argument(
+        "--max-queue", type=int, default=16, help="admission queue bound"
+    )
+    cluster.add_argument("--hr-fraction", type=float, default=0.5)
+    cluster.add_argument("--frames-per-video", type=int, default=72)
+    cluster.add_argument("--playlist-videos", type=int, default=1)
+    cluster.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="stop at the end of the arrival window instead of finishing sessions",
+    )
+    # Accepted after the subcommand as well (SUPPRESS keeps the pre-command
+    # values when the trailing flags are absent).
+    cluster.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    cluster.add_argument("--power-cap", type=float, default=argparse.SUPPRESS)
 
     return parser
 
@@ -195,6 +257,98 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     print(format_table(["mix", "controller", "Watts", "Nth", "FPS", "Δ (%)"], table))
 
 
+def _cluster_traffic(args: argparse.Namespace):
+    if args.traffic == "diurnal":
+        return DiurnalTraffic(args.arrival_rate, amplitude=0.6, period=max(2, args.duration // 2))
+    if args.traffic == "flash":
+        # Baseline traffic with a 4x crowd in the middle fifth of the run
+        # (FlashCrowdTraffic already emits the base rate outside the burst).
+        return FlashCrowdTraffic(
+            args.arrival_rate,
+            peak_multiplier=4.0,
+            start=2 * args.duration // 5,
+            duration=max(1, args.duration // 5),
+        )
+    return PoissonTraffic(args.arrival_rate)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    admission = {
+        "always": lambda: AlwaysAdmit(),
+        "capacity": lambda: CapacityThreshold(
+            max_sessions_per_server=args.max_sessions_per_server,
+            max_queue=args.max_queue,
+        ),
+        "power": lambda: PowerHeadroom(max_queue=args.max_queue),
+    }[args.admission]()
+    dispatcher = {
+        "round-robin": RoundRobin,
+        "least-loaded": LeastLoaded,
+        "power-aware": PowerAware,
+    }[args.dispatch]()
+    workload = WorkloadGenerator(
+        _cluster_traffic(args),
+        seed=args.seed,
+        hr_fraction=args.hr_fraction,
+        playlist_videos=args.playlist_videos,
+        frames_per_video=args.frames_per_video,
+    )
+    cluster = ClusterOrchestrator(
+        args.servers,
+        workload,
+        admission=admission,
+        dispatcher=dispatcher,
+        power_cap_w=args.power_cap,
+        seed=args.seed,
+    )
+    summary = cluster.run(args.duration, drain=not args.no_drain).summary()
+
+    print(
+        f"ClusterSummary: {args.servers} servers, {args.traffic} traffic "
+        f"@ {args.arrival_rate}/step, {args.admission} admission, "
+        f"{args.dispatch} dispatch"
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["steps (incl. drain)", summary.steps],
+                ["arrivals", summary.arrivals],
+                ["admitted sessions", summary.admitted],
+                ["rejected", summary.rejected],
+                ["abandoned in queue", summary.abandoned],
+                ["rejection rate (%)", 100.0 * summary.rejection_rate],
+                ["mean queue wait (steps)", summary.mean_queue_wait_steps],
+                ["mean active sessions", summary.mean_active_sessions],
+                ["fleet power (W)", summary.fleet_mean_power_w],
+                ["fleet energy (kJ)", summary.fleet_energy_j / 1000.0],
+                ["watts per session", summary.watts_per_session],
+                ["mean FPS", summary.mean_fps],
+                ["QoS violations (Δ, %)", summary.qos_violation_pct],
+            ],
+            float_format="{:.2f}",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["server", "sessions", "frames", "util (%)", "power (W)", "Δ (%)"],
+            [
+                [
+                    f"srv-{server.server_index}",
+                    server.sessions_served,
+                    server.frames,
+                    100.0 * server.utilization,
+                    server.mean_power_w,
+                    server.qos_violation_pct,
+                ]
+                for server in summary.servers
+            ],
+            float_format="{:.1f}",
+        )
+    )
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "compare": _cmd_compare,
@@ -203,6 +357,7 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
+    "cluster": _cmd_cluster,
 }
 
 

@@ -1,0 +1,61 @@
+"""Cluster layer: dynamic traffic, admission control, multi-server dispatch.
+
+The paper evaluates one multicore server with a fixed cohort of sessions;
+this package scales the reproduction toward a service: a
+:class:`~repro.cluster.workload.WorkloadGenerator` produces timestamped
+request arrivals from composable traffic models, an
+:class:`~repro.cluster.admission.AdmissionPolicy` decides whether each
+request is admitted, queued or rejected, a
+:class:`~repro.cluster.dispatch.DispatchPolicy` load-balances admitted
+requests across servers, and the
+:class:`~repro.cluster.cluster.ClusterOrchestrator` drives the per-server
+orchestrators step-wise with sessions joining and leaving mid-run.
+"""
+
+from repro.cluster.admission import (
+    AdmissionPolicy,
+    AdmissionVerdict,
+    AlwaysAdmit,
+    CapacityThreshold,
+    PowerHeadroom,
+)
+from repro.cluster.cluster import ClusterOrchestrator, ClusterResult
+from repro.cluster.dispatch import DispatchPolicy, LeastLoaded, PowerAware, RoundRobin
+from repro.cluster.state import ClusterSnapshot, ServerSnapshot
+from repro.cluster.workload import (
+    CompositeTraffic,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    PoissonTraffic,
+    TrafficModel,
+    WorkloadEvent,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    # workload
+    "TrafficModel",
+    "PoissonTraffic",
+    "DiurnalTraffic",
+    "FlashCrowdTraffic",
+    "CompositeTraffic",
+    "WorkloadEvent",
+    "WorkloadGenerator",
+    # admission
+    "AdmissionPolicy",
+    "AdmissionVerdict",
+    "AlwaysAdmit",
+    "CapacityThreshold",
+    "PowerHeadroom",
+    # dispatch
+    "DispatchPolicy",
+    "RoundRobin",
+    "LeastLoaded",
+    "PowerAware",
+    # state
+    "ClusterSnapshot",
+    "ServerSnapshot",
+    # orchestration
+    "ClusterOrchestrator",
+    "ClusterResult",
+]

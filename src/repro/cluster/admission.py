@@ -1,0 +1,146 @@
+"""Admission control: decide whether an arriving request may enter the fleet.
+
+Every arriving :class:`~repro.cluster.workload.WorkloadEvent` is shown to an
+:class:`AdmissionPolicy` together with a :class:`~repro.cluster.state.ClusterSnapshot`.
+The policy answers one of three verdicts:
+
+* ``ADMIT`` — hand the request to the dispatcher now;
+* ``QUEUE`` — hold the request in a FIFO queue and retry on later steps;
+* ``REJECT`` — turn the request away (counted in the rejection rate).
+
+Queued requests are re-evaluated ahead of new arrivals each step, so a
+policy only needs to express its instantaneous condition — the retry loop
+lives in the :class:`~repro.cluster.cluster.ClusterOrchestrator`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from repro.errors import ClusterError
+from repro.cluster.state import ClusterSnapshot
+from repro.cluster.workload import WorkloadEvent
+
+__all__ = [
+    "AdmissionVerdict",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "CapacityThreshold",
+    "PowerHeadroom",
+]
+
+
+class AdmissionVerdict(enum.Enum):
+    """Outcome of one admission decision."""
+
+    ADMIT = "admit"
+    QUEUE = "queue"
+    REJECT = "reject"
+
+
+class AdmissionPolicy(abc.ABC):
+    """Pluggable admission rule consulted once per request per step."""
+
+    @abc.abstractmethod
+    def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        """Verdict for ``event`` given the current fleet state."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name (defaults to the class name)."""
+        return type(self).__name__
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """Admit everything — the open-loop baseline (and overload generator)."""
+
+    def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        return AdmissionVerdict.ADMIT
+
+
+class CapacityThreshold(AdmissionPolicy):
+    """Bound concurrent sessions per server; queue a bounded backlog.
+
+    A request is admitted while some server runs fewer than
+    ``max_sessions_per_server`` sessions, queued while the backlog is below
+    ``max_queue``, and rejected otherwise.
+
+    Note that admission and dispatch are decided independently: the bound is
+    enforced per server only when paired with a least-loaded-style
+    dispatcher.  Under :class:`~repro.cluster.dispatch.RoundRobin` or
+    :class:`~repro.cluster.dispatch.PowerAware` it still caps *fleet-wide*
+    admission, but an individual server may momentarily exceed the bound.
+
+    Parameters
+    ----------
+    max_sessions_per_server:
+        Concurrency bound per server (the paper's Scenario I mixes peak at
+        three videos per class on one server; four is a sane default for a
+        16-core machine).
+    max_queue:
+        Longest backlog the service will hold before turning users away.
+    """
+
+    def __init__(self, max_sessions_per_server: int = 4, max_queue: int = 16) -> None:
+        if max_sessions_per_server < 1:
+            raise ClusterError(
+                f"max_sessions_per_server must be >= 1, got {max_sessions_per_server}"
+            )
+        if max_queue < 0:
+            raise ClusterError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_sessions_per_server = int(max_sessions_per_server)
+        self.max_queue = int(max_queue)
+
+    def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        if snapshot.least_loaded().active_sessions < self.max_sessions_per_server:
+            return AdmissionVerdict.ADMIT
+        if snapshot.queue_length < self.max_queue:
+            return AdmissionVerdict.QUEUE
+        return AdmissionVerdict.REJECT
+
+
+class PowerHeadroom(AdmissionPolicy):
+    """Admit only while the fleet's power budget has headroom.
+
+    The expected marginal power of one more session is estimated from the
+    fleet's draw *above idle* at the last power measurement (busy power per
+    measured session — base and parked-core power would grossly overstate
+    the marginal cost), falling back to ``watts_per_session_estimate`` when
+    nothing was running.  Fleet power is only sampled once per step, so the
+    decision projects it forward by the marginal estimate for every session
+    admitted since that sample — otherwise a burst arriving within one step
+    would be admitted wholesale against a stale reading.  A request is
+    admitted while the projection plus one more marginal session fits under
+    ``snapshot.power_cap_w``, queued while the backlog is below
+    ``max_queue``, and rejected otherwise.
+    """
+
+    def __init__(
+        self, watts_per_session_estimate: float = 25.0, max_queue: int = 16
+    ) -> None:
+        if watts_per_session_estimate <= 0:
+            raise ClusterError(
+                "watts_per_session_estimate must be positive, "
+                f"got {watts_per_session_estimate}"
+            )
+        if max_queue < 0:
+            raise ClusterError(f"max_queue must be >= 0, got {max_queue}")
+        self.watts_per_session_estimate = float(watts_per_session_estimate)
+        self.max_queue = int(max_queue)
+
+    def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        measured = snapshot.total_last_active_sessions
+        busy_w = snapshot.fleet_power_w - snapshot.fleet_idle_power_w
+        if measured > 0 and busy_w > 0:
+            marginal_w = busy_w / measured
+        else:
+            marginal_w = self.watts_per_session_estimate
+        # Power committed by sessions admitted since the last sample.
+        unmeasured = max(0, snapshot.total_active_sessions - measured)
+        projected_w = snapshot.fleet_power_w + marginal_w * unmeasured
+        if projected_w + marginal_w <= snapshot.power_cap_w:
+            return AdmissionVerdict.ADMIT
+        if snapshot.queue_length < self.max_queue:
+            return AdmissionVerdict.QUEUE
+        return AdmissionVerdict.REJECT

@@ -1,0 +1,313 @@
+"""Cluster orchestration: N servers, arriving traffic, admission + dispatch.
+
+The :class:`ClusterOrchestrator` closes the gap between the paper's
+fixed-cohort experiments and a production service.  It owns one
+:class:`~repro.manager.orchestrator.Orchestrator` per server and drives them
+step-wise; each step it
+
+1. re-evaluates queued requests (FIFO) against the admission policy,
+2. offers the step's new arrivals to the admission policy,
+3. routes admitted requests to a server via the dispatch policy
+   (sessions join mid-run through ``Orchestrator.add_session``), and
+4. advances every server by one frame, sampling idle power on servers with
+   nothing to do so fleet energy accounting includes the machines that are
+   merely switched on.
+
+Everything downstream of the seed is deterministic: the same
+``(workload seed, policies, cluster seed)`` tuple reproduces the identical
+:class:`ClusterResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Mapping, Optional, Sequence
+
+from repro.constants import DEFAULT_POWER_CAP_W
+from repro.errors import ClusterError
+from repro.cluster.admission import AdmissionPolicy, AdmissionVerdict, CapacityThreshold
+from repro.cluster.dispatch import DispatchPolicy, LeastLoaded
+from repro.cluster.state import ClusterSnapshot, ServerSnapshot
+from repro.cluster.workload import WorkloadEvent, WorkloadGenerator
+from repro.manager.factories import ControllerFactory, mamut_factory
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.session import TranscodingSession
+from repro.metrics.cluster import ClusterSummary, summarize_cluster
+from repro.metrics.records import FrameRecord, PowerSample
+from repro.platform.server import MulticoreServer
+
+__all__ = ["ClusterResult", "ClusterOrchestrator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterResult:
+    """Raw output of one cluster run.
+
+    Attributes
+    ----------
+    records_by_server:
+        One ``{session_id: [FrameRecord, ...]}`` mapping per server.
+    samples_by_server:
+        One power trace per server; every server contributes exactly one
+        sample per cluster step (idle steps included).
+    arrivals, admitted, rejected, abandoned:
+        The admission ledger; ``abandoned`` counts requests still queued
+        when the run ended.
+    queue_waits:
+        Steps each admitted request spent queued (0 = admitted on arrival).
+    steps:
+        Cluster steps executed, drain included.
+    """
+
+    records_by_server: tuple[Mapping[str, Sequence[FrameRecord]], ...]
+    samples_by_server: tuple[tuple[PowerSample, ...], ...]
+    arrivals: int
+    admitted: int
+    rejected: int
+    abandoned: int
+    queue_waits: tuple[int, ...]
+    steps: int
+
+    def summary(self) -> ClusterSummary:
+        """Aggregate the run into fleet-level metrics."""
+        return summarize_cluster(
+            self.records_by_server,
+            self.samples_by_server,
+            arrivals=self.arrivals,
+            admitted=self.admitted,
+            rejected=self.rejected,
+            abandoned=self.abandoned,
+            queue_waits=self.queue_waits,
+            steps=self.steps,
+        )
+
+
+class ClusterOrchestrator:
+    """Runs a fleet of transcoding servers under arriving traffic.
+
+    Parameters
+    ----------
+    num_servers:
+        Servers in the fleet; each gets its own fresh
+        :class:`~repro.platform.server.MulticoreServer`.
+    workload:
+        The arrival stream (see :class:`~repro.cluster.workload.WorkloadGenerator`).
+    admission:
+        Admission policy; defaults to :class:`~repro.cluster.admission.CapacityThreshold`.
+    dispatcher:
+        Load-balancing policy; defaults to :class:`~repro.cluster.dispatch.LeastLoaded`.
+    controller_factory:
+        Per-session controller builder ``(request, seed) -> Controller``;
+        defaults to fresh MAMUT controllers under ``power_cap_w``.
+    server_factory:
+        Callable creating one server; lets callers mix topologies.
+    power_cap_w:
+        Per-server power cap handed to the default controller factory; the
+        fleet budget visible to admission policies is
+        ``fleet_power_cap_w or num_servers * power_cap_w``.
+    seed:
+        Seeds the per-session controller randomness (the workload carries
+        its own seed).
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        workload: WorkloadGenerator,
+        admission: Optional[AdmissionPolicy] = None,
+        dispatcher: Optional[DispatchPolicy] = None,
+        controller_factory: Optional[ControllerFactory] = None,
+        server_factory=MulticoreServer,
+        power_cap_w: float = DEFAULT_POWER_CAP_W,
+        fleet_power_cap_w: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_servers < 1:
+            raise ClusterError(f"num_servers must be >= 1, got {num_servers}")
+        self.workload = workload
+        self.admission = admission if admission is not None else CapacityThreshold()
+        self.dispatcher = dispatcher if dispatcher is not None else LeastLoaded()
+        self.controller_factory = (
+            controller_factory
+            if controller_factory is not None
+            else mamut_factory(power_cap_w=power_cap_w)
+        )
+        self.power_cap_w = float(power_cap_w)
+        self.fleet_power_cap_w = (
+            float(fleet_power_cap_w)
+            if fleet_power_cap_w is not None
+            else num_servers * self.power_cap_w
+        )
+        self.seed = int(seed)
+        self.orchestrators = [
+            Orchestrator(server=server_factory()) for _ in range(num_servers)
+        ]
+        # Before a server's first step its "last power" is its idle draw
+        # (allocate([]) is side-effect free).
+        self._idle_power_w = [
+            orch.server.allocate([]).total_power_w for orch in self.orchestrators
+        ]
+        self._last_power_w = list(self._idle_power_w)
+        self._last_active = [0] * num_servers
+        self._dispatched = [0] * num_servers
+        self._admitted = 0
+        self._ran = False
+
+    @property
+    def num_servers(self) -> int:
+        """Servers in the fleet."""
+        return len(self.orchestrators)
+
+    # -- state -------------------------------------------------------------------------
+
+    def snapshot(self, step: int, queue_length: int) -> ClusterSnapshot:
+        """Immutable fleet state as seen by admission/dispatch policies."""
+        servers = tuple(
+            ServerSnapshot(
+                server_index=index,
+                active_sessions=len(orch.active_sessions()),
+                last_power_w=self._last_power_w[index],
+                sessions_dispatched=self._dispatched[index],
+                idle_power_w=self._idle_power_w[index],
+                last_active_sessions=self._last_active[index],
+            )
+            for index, orch in enumerate(self.orchestrators)
+        )
+        return ClusterSnapshot(
+            step=step,
+            servers=servers,
+            queue_length=queue_length,
+            power_cap_w=self.fleet_power_cap_w,
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(
+        self,
+        duration: int,
+        drain: bool = True,
+        max_drain_steps: Optional[int] = None,
+    ) -> ClusterResult:
+        """Serve ``duration`` steps of arriving traffic.
+
+        With ``drain=True`` (the default) the fleet keeps stepping after the
+        arrival window until every admitted playlist finishes, so sessions
+        admitted late are never cut off mid-video.  Draining closes
+        admission: requests still queued when the window ends are *not*
+        served by capacity freed during the tail — they are reported as
+        ``abandoned``.  ``max_drain_steps`` bounds the tail for overload
+        experiments.
+
+        A cluster orchestrator is single-use: the per-server orchestrators
+        keep their sessions, so a second ``run()`` would silently mix the
+        runs' records.  Build a fresh instance per run instead.
+        """
+        if duration < 0:
+            raise ClusterError(f"duration must be >= 0, got {duration}")
+        if self._ran:
+            raise ClusterError(
+                "this ClusterOrchestrator has already run; create a fresh "
+                "instance per run"
+            )
+        if self.workload.consumed:
+            raise ClusterError(
+                "the workload generator has already produced arrivals, so its "
+                "trace would not start from the seed; create a fresh "
+                "WorkloadGenerator (the same seed reproduces the trace)"
+            )
+        self._ran = True
+
+        queue: deque[WorkloadEvent] = deque()
+        samples: list[list[PowerSample]] = [[] for _ in self.orchestrators]
+        arrivals = admitted = rejected = 0
+        queue_waits: list[int] = []
+
+        for step in range(duration):
+            # Queued requests get first claim on freed capacity (FIFO: stop
+            # at the first request the policy keeps queued).
+            while queue:
+                snapshot = self.snapshot(step, len(queue) - 1)
+                verdict = self.admission.decide(queue[0], snapshot)
+                if verdict is AdmissionVerdict.QUEUE:
+                    break
+                event = queue.popleft()
+                if verdict is AdmissionVerdict.ADMIT:
+                    self._dispatch(event, snapshot)
+                    admitted += 1
+                    queue_waits.append(step - event.arrival_step)
+                else:
+                    rejected += 1
+
+            for event in self.workload.arrivals(step):
+                arrivals += 1
+                snapshot = self.snapshot(step, len(queue))
+                verdict = self.admission.decide(event, snapshot)
+                if verdict is AdmissionVerdict.ADMIT:
+                    self._dispatch(event, snapshot)
+                    admitted += 1
+                    queue_waits.append(0)
+                elif verdict is AdmissionVerdict.QUEUE:
+                    queue.append(event)
+                else:
+                    rejected += 1
+
+            self._advance(step, samples)
+
+        steps = duration
+        if drain:
+            while any(orch.active_sessions() for orch in self.orchestrators):
+                if max_drain_steps is not None and steps - duration >= max_drain_steps:
+                    break
+                self._advance(steps, samples)
+                steps += 1
+
+        return ClusterResult(
+            records_by_server=tuple(
+                {
+                    session.session_id: tuple(session.records)
+                    for session in orch.sessions
+                }
+                for orch in self.orchestrators
+            ),
+            samples_by_server=tuple(tuple(trace) for trace in samples),
+            arrivals=arrivals,
+            admitted=admitted,
+            rejected=rejected,
+            abandoned=len(queue),
+            queue_waits=tuple(queue_waits),
+            steps=steps,
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _dispatch(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> None:
+        """Route an admitted event using the snapshot its admission saw
+        (cluster state cannot change between the two decisions)."""
+        index = self.dispatcher.select(event, snapshot)
+        if not 0 <= index < self.num_servers:
+            raise ClusterError(
+                f"{self.dispatcher.name} chose server {index} "
+                f"of a {self.num_servers}-server fleet"
+            )
+        controller = self.controller_factory(
+            event.request, self.seed + self._admitted
+        )
+        self._admitted += 1
+        session = TranscodingSession(
+            request=event.request,
+            controller=controller,
+            playlist=event.playlist,
+        )
+        self.orchestrators[index].add_session(session)
+        self._dispatched[index] += 1
+
+    def _advance(self, step: int, samples: list[list[PowerSample]]) -> None:
+        """Step every server once, sampling idle power on empty servers."""
+        for index, orch in enumerate(self.orchestrators):
+            sample = orch.run_step(step)
+            if sample is None:
+                sample = orch.idle_step(step)
+            samples[index].append(sample)
+            self._last_power_w[index] = sample.power_w
+            self._last_active[index] = sample.active_sessions

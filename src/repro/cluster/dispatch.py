@@ -1,0 +1,111 @@
+"""Dispatch: route an admitted request to exactly one server of the fleet.
+
+Mirrors the load-balancing layer of an SDN controller: a
+:class:`DispatchPolicy` sees the same immutable
+:class:`~repro.cluster.state.ClusterSnapshot` the admission controller saw
+and returns the index of the target server.  Three classic policies ship:
+
+* :class:`RoundRobin` — cycle through the servers regardless of load;
+* :class:`LeastLoaded` — fewest active sessions wins (ties break to the
+  lowest index, keeping traces deterministic);
+* :class:`PowerAware` — lowest last-step package power wins, steering new
+  work to the coolest machine.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ClusterError
+from repro.cluster.state import ClusterSnapshot
+from repro.cluster.workload import WorkloadEvent
+
+__all__ = ["DispatchPolicy", "RoundRobin", "LeastLoaded", "PowerAware"]
+
+
+class DispatchPolicy(abc.ABC):
+    """Pluggable load-balancing rule: one admitted request -> one server."""
+
+    @abc.abstractmethod
+    def select(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
+        """Index of the server that receives ``event``.
+
+        Must return a valid index into ``snapshot.servers``; the cluster
+        orchestrator validates the choice and raises
+        :class:`~repro.errors.ClusterError` on an out-of-range index.
+        """
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name (defaults to the class name)."""
+        return type(self).__name__
+
+    @staticmethod
+    def _require_servers(snapshot: ClusterSnapshot) -> None:
+        if snapshot.num_servers == 0:
+            raise ClusterError("cannot dispatch on an empty fleet")
+
+
+class RoundRobin(DispatchPolicy):
+    """Cycle through the servers in index order, ignoring load."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
+        self._require_servers(snapshot)
+        index = self._next % snapshot.num_servers
+        self._next = (index + 1) % snapshot.num_servers
+        return index
+
+
+class LeastLoaded(DispatchPolicy):
+    """Send the request to the server with the fewest active sessions."""
+
+    def select(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
+        self._require_servers(snapshot)
+        return snapshot.least_loaded().server_index
+
+
+class PowerAware(DispatchPolicy):
+    """Send the request to the server projected to draw the least power.
+
+    Server power is only sampled once per step, so ranking raw
+    ``last_power_w`` would pile every request of a within-step burst onto
+    the single coolest machine.  Instead each server's reading is projected
+    forward by its marginal power per session (busy draw over the sessions
+    measured, falling back to ``watts_per_session_estimate`` on an idle
+    server) for every session admitted since the sample — mirroring the
+    projection :class:`~repro.cluster.admission.PowerHeadroom` applies.
+    Ties break by active-session count and then by index, so dispatch stays
+    deterministic.
+    """
+
+    def __init__(self, watts_per_session_estimate: float = 25.0) -> None:
+        if watts_per_session_estimate <= 0:
+            raise ClusterError(
+                "watts_per_session_estimate must be positive, "
+                f"got {watts_per_session_estimate}"
+            )
+        self.watts_per_session_estimate = float(watts_per_session_estimate)
+
+    def _projected_power_w(self, server) -> float:
+        busy_w = server.last_power_w - server.idle_power_w
+        if server.last_active_sessions > 0 and busy_w > 0:
+            marginal_w = busy_w / server.last_active_sessions
+        else:
+            marginal_w = self.watts_per_session_estimate
+        pending = max(0, server.active_sessions - server.last_active_sessions)
+        return server.last_power_w + marginal_w * pending
+
+    def select(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
+        self._require_servers(snapshot)
+        best = min(
+            snapshot.servers,
+            key=lambda s: (
+                self._projected_power_w(s),
+                s.active_sessions,
+                s.server_index,
+            ),
+        )
+        return best.server_index

@@ -1,0 +1,102 @@
+"""Read-only cluster state snapshots shared by admission and dispatch.
+
+Policies never touch live orchestrators: each scheduling decision sees an
+immutable :class:`ClusterSnapshot` built by the
+:class:`~repro.cluster.cluster.ClusterOrchestrator` at the moment of the
+decision.  This keeps policies pure functions of observable state — easy to
+test in isolation and impossible to corrupt the fleet from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+__all__ = ["ServerSnapshot", "ClusterSnapshot"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerSnapshot:
+    """Observable state of one server at a scheduling decision.
+
+    Attributes
+    ----------
+    server_index:
+        Position of the server in the fleet (0-based).
+    active_sessions:
+        Sessions currently transcoding on the server.
+    last_power_w:
+        Package power of the server's most recent step (its idle power
+        before the first step).
+    sessions_dispatched:
+        Total sessions ever routed to this server.
+    idle_power_w:
+        Package power the server draws with no sessions at all (base plus
+        parked cores); lets policies reason about *incremental* power.
+    last_active_sessions:
+        Sessions that were running when ``last_power_w`` was measured.
+        ``active_sessions`` can exceed this within a step (sessions admitted
+        since the last sample have not drawn power yet), which is what lets
+        policies project the power already committed this step.
+    """
+
+    server_index: int
+    active_sessions: int
+    last_power_w: float
+    sessions_dispatched: int
+    idle_power_w: float = 0.0
+    last_active_sessions: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSnapshot:
+    """Observable state of the whole fleet at a scheduling decision.
+
+    Attributes
+    ----------
+    step:
+        Cluster step at which the snapshot was taken.
+    servers:
+        Per-server snapshots, indexed by server position.
+    queue_length:
+        Requests currently waiting in the admission queue.
+    power_cap_w:
+        Fleet-wide power budget admission policies may enforce.
+    """
+
+    step: int
+    servers: tuple[ServerSnapshot, ...]
+    queue_length: int
+    power_cap_w: float
+
+    def __iter__(self) -> Iterator[ServerSnapshot]:
+        return iter(self.servers)
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers in the fleet."""
+        return len(self.servers)
+
+    @property
+    def total_active_sessions(self) -> int:
+        """Sessions currently running anywhere in the fleet."""
+        return sum(server.active_sessions for server in self.servers)
+
+    @property
+    def fleet_power_w(self) -> float:
+        """Sum of the servers' most recent package powers."""
+        return sum(server.last_power_w for server in self.servers)
+
+    @property
+    def fleet_idle_power_w(self) -> float:
+        """Power the fleet would draw with every server idle."""
+        return sum(server.idle_power_w for server in self.servers)
+
+    @property
+    def total_last_active_sessions(self) -> int:
+        """Fleet-wide session count at the last power measurement."""
+        return sum(server.last_active_sessions for server in self.servers)
+
+    def least_loaded(self) -> ServerSnapshot:
+        """The server with the fewest active sessions (lowest index on ties)."""
+        return min(self.servers, key=lambda s: (s.active_sessions, s.server_index))

@@ -46,3 +46,7 @@ class SchedulingError(ReproError):
 
 class ScenarioError(ReproError):
     """A multi-user scenario could not be constructed."""
+
+
+class ClusterError(ReproError):
+    """The cluster layer (workload, admission, dispatch) was misconfigured."""

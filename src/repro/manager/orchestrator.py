@@ -5,6 +5,12 @@ session's controller decides its configuration, the server allocates the
 resulting thread/frequency demands (producing the per-session contention
 scale and the package power), and every session then transcodes its frame
 under that allocation.  Sessions drop out as their playlists finish.
+
+Sessions may also *join after construction* via :meth:`Orchestrator.add_session`:
+the cluster layer (:mod:`repro.cluster`) drives one orchestrator per server
+step-wise and attaches sessions as requests arrive over time.  An orchestrator
+with no sessions is valid — it idles, and :meth:`Orchestrator.idle_step`
+samples the server's idle power so fleet-wide energy accounting stays honest.
 """
 
 from __future__ import annotations
@@ -12,8 +18,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Mapping, Optional, Sequence
 
+from repro.constants import TARGET_FPS
 from repro.errors import ScenarioError
-from repro.metrics.aggregate import ExperimentSummary, summarize_experiment
+from repro.metrics.aggregate import (
+    ExperimentSummary,
+    empty_experiment_summary,
+    summarize_experiment,
+)
 from repro.metrics.records import FrameRecord, PowerSample
 from repro.manager.session import TranscodingSession
 from repro.platform.dvfs import DvfsPolicy
@@ -42,7 +53,14 @@ class OrchestratorResult:
     steps: int
 
     def summary(self) -> ExperimentSummary:
-        """Aggregate the run into the paper's summary metrics."""
+        """Aggregate the run into the paper's summary metrics.
+
+        An empty run (no sessions ever attached) yields an all-zero summary
+        rather than an error, matching the "an empty orchestrator idles"
+        contract.
+        """
+        if not self.records_by_session:
+            return empty_experiment_summary(self.power_samples)
         return summarize_experiment(self.records_by_session, self.power_samples)
 
     def all_records(self) -> list[FrameRecord]:
@@ -56,7 +74,9 @@ class Orchestrator:
     Parameters
     ----------
     sessions:
-        The sessions to serve simultaneously.
+        The sessions to serve simultaneously.  May be empty: a session-less
+        orchestrator idles until :meth:`add_session` attaches work (the
+        cluster layer relies on this).
     server:
         The shared platform; a default 16-core server is created when
         omitted.  Its DVFS policy is set to chip-wide when any session's
@@ -66,16 +86,19 @@ class Orchestrator:
 
     def __init__(
         self,
-        sessions: Sequence[TranscodingSession],
+        sessions: Sequence[TranscodingSession] = (),
         server: Optional[MulticoreServer] = None,
     ) -> None:
         sessions = list(sessions)
-        if not sessions:
-            raise ScenarioError("the orchestrator needs at least one session")
         ids = [s.session_id for s in sessions]
         if len(set(ids)) != len(ids):
             raise ScenarioError(f"duplicate session ids: {ids}")
         self.sessions = sessions
+        # Active subset, pruned lazily: long cluster runs accumulate
+        # thousands of finished sessions in `sessions`, which per-step scans
+        # must not touch.
+        self._active = [s for s in sessions if s.active]
+        self._session_ids = set(ids)
         self.server = server if server is not None else MulticoreServer()
         self.meter = PowerMeter()
 
@@ -85,11 +108,30 @@ class Orchestrator:
         ):
             self.server.dvfs_policy = DvfsPolicy.CHIP_WIDE
 
+    # -- session lifecycle -------------------------------------------------------------
+
+    def add_session(self, session: TranscodingSession) -> None:
+        """Attach a session after construction (it joins on the next step).
+
+        The cluster dispatcher uses this to route arriving requests onto a
+        running server.  Duplicate session ids are rejected, and a joining
+        chip-wide controller switches the server's DVFS policy exactly as it
+        would have at construction time.
+        """
+        if session.session_id in self._session_ids:
+            raise ScenarioError(f"duplicate session id {session.session_id!r}")
+        self._session_ids.add(session.session_id)
+        self.sessions.append(session)
+        self._active.append(session)
+        if session.controller.dvfs_policy is DvfsPolicy.CHIP_WIDE:
+            self.server.dvfs_policy = DvfsPolicy.CHIP_WIDE
+
     # -- execution ---------------------------------------------------------------------
 
     def active_sessions(self) -> list[TranscodingSession]:
         """Sessions that still have frames to transcode."""
-        return [session for session in self.sessions if session.active]
+        self._active = [s for s in self._active if s.active]
+        return list(self._active)
 
     def run_step(self, step: int) -> Optional[PowerSample]:
         """Advance every active session by one frame.
@@ -118,6 +160,24 @@ class Orchestrator:
             power_w=allocation.total_power_w,
             duration_s=duration,
             active_sessions=len(active),
+        )
+        self.meter.record(sample.power_w, sample.duration_s)
+        return sample
+
+    def idle_step(self, step: int) -> PowerSample:
+        """Sample the server's idle power for one session-less step.
+
+        The cluster layer calls this instead of :meth:`run_step` when a server
+        has no active sessions, so that idle servers still contribute their
+        base power to fleet-wide energy accounting.  The step lasts one frame
+        interval at the nominal delivery rate.
+        """
+        allocation = self.server.allocate([])
+        sample = PowerSample(
+            step=step,
+            power_w=allocation.total_power_w,
+            duration_s=1.0 / TARGET_FPS,
+            active_sessions=0,
         )
         self.meter.record(sample.power_w, sample.duration_s)
         return sample

@@ -10,6 +10,7 @@ run into those summary numbers.
 from repro.metrics.records import FrameRecord, PowerSample
 from repro.metrics.qos import qos_violation_pct, violations
 from repro.metrics.aggregate import ExperimentSummary, SessionSummary, summarize_session
+from repro.metrics.cluster import ClusterSummary, ServerSummary, summarize_cluster
 from repro.metrics.report import format_table
 
 __all__ = [
@@ -20,5 +21,8 @@ __all__ = [
     "SessionSummary",
     "ExperimentSummary",
     "summarize_session",
+    "ClusterSummary",
+    "ServerSummary",
+    "summarize_cluster",
     "format_table",
 ]

@@ -9,7 +9,13 @@ from repro.metrics.qos import qos_violation_pct
 from repro.metrics.records import FrameRecord, PowerSample
 from repro.video.sequence import ResolutionClass
 
-__all__ = ["SessionSummary", "ExperimentSummary", "summarize_session", "summarize_experiment"]
+__all__ = [
+    "SessionSummary",
+    "ExperimentSummary",
+    "summarize_session",
+    "summarize_experiment",
+    "empty_experiment_summary",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +111,32 @@ def summarize_session(
         mean_frequency_ghz=sum(r.frequency_ghz for r in records) / n,
         mean_qp=sum(r.qp for r in records) / n,
         qos_violation_pct=qos_violation_pct(records),
+    )
+
+
+def empty_experiment_summary(
+    power_samples: Sequence[PowerSample] = (),
+) -> ExperimentSummary:
+    """An all-zero summary for a run that served no sessions.
+
+    ``summarize_experiment`` deliberately rejects empty inputs (a run that
+    was supposed to serve sessions but has no records is a bug); callers for
+    which emptiness is legitimate — e.g. an idle, session-less orchestrator —
+    use this constructor instead.  Power statistics still reflect any idle
+    samples recorded.
+    """
+    total_time = sum(sample.duration_s for sample in power_samples)
+    energy = sum(sample.power_w * sample.duration_s for sample in power_samples)
+    return ExperimentSummary(
+        sessions={},
+        mean_power_w=energy / total_time if total_time > 0 else 0.0,
+        energy_j=energy,
+        duration_s=total_time,
+        mean_fps=0.0,
+        mean_threads=0.0,
+        mean_frequency_ghz=0.0,
+        mean_psnr_db=0.0,
+        qos_violation_pct=0.0,
     )
 
 

@@ -12,8 +12,17 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["quickstart"])
         assert args.command == "quickstart"
-        for command in ("compare", "fig2", "fig4", "fig5", "table1", "table2"):
+        for command in ("compare", "fig2", "fig4", "fig5", "table1", "table2", "cluster"):
             assert build_parser().parse_args([command]).command == command
+
+    def test_cluster_accepts_trailing_seed(self):
+        # The global --seed/--power-cap are also accepted after the
+        # subcommand (and win when given there).
+        args = build_parser().parse_args(["cluster", "--servers", "2", "--seed", "3"])
+        assert args.servers == 2
+        assert args.seed == 3
+        args = build_parser().parse_args(["--seed", "9", "cluster"])
+        assert args.seed == 9
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -64,3 +73,24 @@ class TestCommands:
         ) == 0
         output = capsys.readouterr().out
         assert "1HR1LR" in output
+
+    def test_cluster_prints_summary(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--servers",
+                "2",
+                "--arrival-rate",
+                "0.5",
+                "--duration",
+                "30",
+                "--frames-per-video",
+                "12",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "admitted sessions" in output
+        assert "fleet power (W)" in output
+        assert "srv-0" in output and "srv-1" in output

@@ -1,0 +1,153 @@
+"""Unit tests for repro.cluster.admission policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.cluster.admission import (
+    AdmissionVerdict,
+    AlwaysAdmit,
+    CapacityThreshold,
+    PowerHeadroom,
+)
+from repro.cluster.state import ClusterSnapshot, ServerSnapshot
+from repro.cluster.workload import PoissonTraffic, WorkloadGenerator
+
+
+@pytest.fixture
+def event():
+    return WorkloadGenerator(PoissonTraffic(1.0), seed=0)._build_event(0)
+
+
+def snapshot(
+    loads,
+    powers=None,
+    idle_powers=None,
+    last_actives=None,
+    queue_length=0,
+    power_cap_w=480.0,
+):
+    powers = powers if powers is not None else [40.0] * len(loads)
+    idle_powers = idle_powers if idle_powers is not None else [0.0] * len(loads)
+    # Default: the power reading is fresh (taken with the current loads).
+    last_actives = last_actives if last_actives is not None else list(loads)
+    servers = tuple(
+        ServerSnapshot(
+            server_index=i,
+            active_sessions=load,
+            last_power_w=power,
+            sessions_dispatched=load,
+            idle_power_w=idle,
+            last_active_sessions=last_active,
+        )
+        for i, (load, power, idle, last_active) in enumerate(
+            zip(loads, powers, idle_powers, last_actives)
+        )
+    )
+    return ClusterSnapshot(
+        step=0, servers=servers, queue_length=queue_length, power_cap_w=power_cap_w
+    )
+
+
+class TestAlwaysAdmit:
+    def test_admits_even_a_saturated_fleet(self, event):
+        policy = AlwaysAdmit()
+        assert policy.decide(event, snapshot([99, 99])) is AdmissionVerdict.ADMIT
+
+
+class TestCapacityThreshold:
+    def test_admits_while_a_server_has_room(self, event):
+        policy = CapacityThreshold(max_sessions_per_server=4, max_queue=2)
+        assert policy.decide(event, snapshot([4, 3])) is AdmissionVerdict.ADMIT
+
+    def test_queues_when_all_servers_full(self, event):
+        policy = CapacityThreshold(max_sessions_per_server=4, max_queue=2)
+        assert policy.decide(event, snapshot([4, 4], queue_length=1)) is AdmissionVerdict.QUEUE
+
+    def test_rejects_when_queue_full_too(self, event):
+        policy = CapacityThreshold(max_sessions_per_server=4, max_queue=2)
+        assert policy.decide(event, snapshot([4, 4], queue_length=2)) is AdmissionVerdict.REJECT
+
+    def test_zero_queue_never_queues(self, event):
+        policy = CapacityThreshold(max_sessions_per_server=1, max_queue=0)
+        assert policy.decide(event, snapshot([1])) is AdmissionVerdict.REJECT
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ClusterError):
+            CapacityThreshold(max_sessions_per_server=0)
+        with pytest.raises(ClusterError):
+            CapacityThreshold(max_queue=-1)
+
+
+class TestPowerHeadroom:
+    def test_admits_with_headroom(self, event):
+        policy = PowerHeadroom(max_queue=4)
+        # Fleet draws 2x40 W with 2 sessions -> marginal ~40 W, cap 480 W.
+        verdict = policy.decide(event, snapshot([1, 1], powers=[40.0, 40.0]))
+        assert verdict is AdmissionVerdict.ADMIT
+
+    def test_queues_at_the_cap(self, event):
+        policy = PowerHeadroom(max_queue=4)
+        verdict = policy.decide(
+            event, snapshot([4, 4], powers=[110.0, 110.0], power_cap_w=230.0)
+        )
+        assert verdict is AdmissionVerdict.QUEUE
+
+    def test_rejects_when_queue_is_full(self, event):
+        policy = PowerHeadroom(max_queue=1)
+        verdict = policy.decide(
+            event,
+            snapshot([4, 4], powers=[110.0, 110.0], queue_length=1, power_cap_w=230.0),
+        )
+        assert verdict is AdmissionVerdict.REJECT
+
+    def test_idle_fleet_uses_the_estimate(self, event):
+        policy = PowerHeadroom(watts_per_session_estimate=30.0, max_queue=0)
+        # Idle fleet at 20 W each, cap 70 W: 40 + 30 <= 70 -> admit.
+        assert policy.decide(
+            event, snapshot([0, 0], powers=[20.0, 20.0], power_cap_w=70.0)
+        ) is AdmissionVerdict.ADMIT
+        # Cap 69 W -> no headroom and no queue -> reject.
+        assert policy.decide(
+            event, snapshot([0, 0], powers=[20.0, 20.0], power_cap_w=69.0)
+        ) is AdmissionVerdict.REJECT
+
+    def test_marginal_estimate_excludes_idle_power(self, event):
+        # Fleet draws 130 W of which 100 W is idle/base: one session costs
+        # ~30 W, not 130 W — so a 170 W cap still has headroom.
+        policy = PowerHeadroom(max_queue=0)
+        verdict = policy.decide(
+            event,
+            snapshot(
+                [1, 0],
+                powers=[80.0, 50.0],
+                idle_powers=[50.0, 50.0],
+                power_cap_w=170.0,
+            ),
+        )
+        assert verdict is AdmissionVerdict.ADMIT
+
+    def test_intra_step_burst_is_projected_against_the_cap(self, event):
+        # Power was last sampled with 2 sessions (130 W, 30 W busy ->
+        # 15 W/session), but 8 more were admitted since: the projection
+        # 130 + 8*15 = 250 leaves no room for another 15 W under a 260 W
+        # cap, even though the stale reading alone (130 + 15) would fit.
+        policy = PowerHeadroom(max_queue=4)
+        verdict = policy.decide(
+            event,
+            snapshot(
+                [5, 5],
+                powers=[65.0, 65.0],
+                idle_powers=[50.0, 50.0],
+                last_actives=[1, 1],
+                power_cap_w=260.0,
+            ),
+        )
+        assert verdict is AdmissionVerdict.QUEUE
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ClusterError):
+            PowerHeadroom(watts_per_session_estimate=0.0)
+        with pytest.raises(ClusterError):
+            PowerHeadroom(max_queue=-1)

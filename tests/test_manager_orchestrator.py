@@ -54,9 +54,27 @@ class TestOrchestrator:
         with pytest.raises(ScenarioError):
             Orchestrator([session("x"), session("x")])
 
-    def test_empty_session_list_rejected(self):
-        with pytest.raises(ScenarioError):
-            Orchestrator([])
+    def test_empty_orchestrator_idles(self):
+        # A session-less orchestrator is valid (the cluster layer attaches
+        # sessions later); run() terminates immediately with no records.
+        orchestrator = Orchestrator()
+        result = orchestrator.run()
+        assert result.steps == 0
+        assert result.records_by_session == {}
+        assert result.power_samples == []
+        # An empty run summarises to zeros instead of raising.
+        summary = result.summary()
+        assert summary.sessions == {}
+        assert summary.mean_power_w == 0.0
+        assert summary.qos_violation_pct == 0.0
+
+    def test_idle_step_samples_idle_power(self):
+        orchestrator = Orchestrator()
+        sample = orchestrator.idle_step(step=3)
+        assert sample.step == 3
+        assert sample.active_sessions == 0
+        assert sample.power_w > 0  # base + idle-core power
+        assert orchestrator.meter.energy_joules > 0
 
     def test_summary_has_all_sessions(self):
         sessions = [session("a", num_frames=8), session("b", "BQMall", num_frames=8)]
@@ -96,3 +114,82 @@ class TestOrchestrator:
         sessions = [session("a", num_frames=5), session("b", "BQMall", num_frames=5)]
         result = Orchestrator(sessions).run()
         assert len(result.all_records()) == 10
+
+
+class TestDynamicSessions:
+    def test_add_session_before_run(self):
+        orchestrator = Orchestrator()
+        orchestrator.add_session(session("a", num_frames=4))
+        result = orchestrator.run()
+        assert result.steps == 4
+        assert len(result.records_by_session["a"]) == 4
+
+    def test_add_session_duplicate_id_rejected(self):
+        orchestrator = Orchestrator([session("a")])
+        with pytest.raises(ScenarioError):
+            orchestrator.add_session(session("a"))
+
+    def test_add_session_chip_wide_switches_policy(self):
+        server = MulticoreServer()
+        orchestrator = Orchestrator(server=server)
+        assert server.dvfs_policy is DvfsPolicy.PER_CORE
+        orchestrator.add_session(session(controller=HeuristicController()))
+        assert server.dvfs_policy is DvfsPolicy.CHIP_WIDE
+
+    def test_mid_run_join_extends_the_run(self):
+        """A session joining mid-run is served from the next step on, and
+        the run continues until the late joiner's playlist drains."""
+        orchestrator = Orchestrator([session("early", num_frames=4)])
+        samples = []
+        for step in range(3):
+            samples.append(orchestrator.run_step(step))
+        orchestrator.add_session(session("late", "BQMall", num_frames=6))
+        step = 3
+        while True:
+            sample = orchestrator.run_step(step)
+            if sample is None:
+                break
+            samples.append(sample)
+            step += 1
+
+        records_early = [r for r in orchestrator.sessions[0].records]
+        records_late = [r for r in orchestrator.sessions[1].records]
+        assert len(records_early) == 4
+        assert len(records_late) == 6
+        # early runs alone for steps 0-2, both overlap at step 3, late runs
+        # alone for steps 4-8.
+        assert [s.active_sessions for s in samples] == [1, 1, 1, 2, 1, 1, 1, 1, 1]
+
+    def test_staggered_lifetimes_keep_metrics_consistent(self):
+        """Sessions finishing at different steps and joining mid-run must
+        leave power samples and per-session records mutually consistent."""
+        orchestrator = Orchestrator(
+            [session("s0", "Kimono", num_frames=5), session("s1", "BQMall", num_frames=9)]
+        )
+        samples = []
+        joined = False
+        step = 0
+        while True:
+            if step == 6 and not joined:
+                orchestrator.add_session(session("s2", "RaceHorses", num_frames=5))
+                joined = True
+            sample = orchestrator.run_step(step)
+            if sample is None:
+                break
+            samples.append(sample)
+            step += 1
+
+        records = {s.session_id: list(s.records) for s in orchestrator.sessions}
+        assert {k: len(v) for k, v in records.items()} == {"s0": 5, "s1": 9, "s2": 5}
+        # Every step's active_sessions equals the number of sessions that
+        # produced a frame record in that step, and total frames match.
+        frames_per_step: dict[int, int] = {}
+        for i, sample in enumerate(samples):
+            frames_per_step[i] = sample.active_sessions
+        assert sum(frames_per_step.values()) == sum(len(v) for v in records.values())
+        # Per-session steps are contiguous (0..n-1 internally) and each
+        # session's record count never exceeds the number of steps it saw.
+        for session_id, recs in records.items():
+            assert [r.step for r in recs] == list(range(len(recs)))
+        # The power trace is strictly positive throughout.
+        assert all(sample.power_w > 0 for sample in samples)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.metrics.cluster aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.cluster import summarize_cluster
+from repro.metrics.records import FrameRecord, PowerSample
+from repro.video.sequence import ResolutionClass
+
+
+def record(session_id, step, fps, target_fps=24.0):
+    return FrameRecord(
+        session_id=session_id,
+        step=step,
+        video_name="Synthetic",
+        frame_index=step,
+        resolution_class=ResolutionClass.HR,
+        qp=32,
+        threads=4,
+        frequency_ghz=3.2,
+        fps=fps,
+        psnr_db=40.0,
+        bitrate_mbps=4.0,
+        encode_time_s=1.0 / max(fps, 1e-6),
+        power_w=80.0,
+        target_fps=target_fps,
+    )
+
+
+def sample(step, power_w, active, duration_s=0.04):
+    return PowerSample(
+        step=step, power_w=power_w, duration_s=duration_s, active_sessions=active
+    )
+
+
+class TestSummarizeCluster:
+    def test_two_server_aggregation(self):
+        records_a = {"u0": [record("u0", 0, fps=30.0), record("u0", 1, fps=20.0)]}
+        records_b = {}
+        samples_a = [sample(0, 100.0, 1), sample(1, 100.0, 1)]
+        samples_b = [sample(0, 20.0, 0), sample(1, 20.0, 0)]
+
+        summary = summarize_cluster(
+            [records_a, records_b],
+            [samples_a, samples_b],
+            arrivals=4,
+            admitted=1,
+            rejected=2,
+            abandoned=1,
+            queue_waits=[0],
+            steps=2,
+        )
+
+        assert summary.num_servers == 2
+        assert summary.frames == 2
+        assert summary.rejection_rate == pytest.approx(0.5)
+        assert summary.fleet_mean_power_w == pytest.approx(120.0)
+        assert summary.mean_active_sessions == pytest.approx(1.0)
+        assert summary.watts_per_session == pytest.approx(120.0)
+        assert summary.qos_violation_pct == pytest.approx(50.0)  # 20 fps < 24
+        assert summary.mean_fps == pytest.approx(25.0)
+
+        busy, idle = summary.servers
+        assert busy.utilization == pytest.approx(1.0)
+        assert busy.sessions_served == 1
+        assert idle.utilization == 0.0
+        assert idle.sessions_served == 0
+        assert idle.mean_power_w == pytest.approx(20.0)
+
+    def test_queue_wait_statistics(self):
+        summary = summarize_cluster(
+            [{}],
+            [[sample(0, 10.0, 0)]],
+            arrivals=3,
+            admitted=3,
+            rejected=0,
+            abandoned=0,
+            queue_waits=[0, 2, 4],
+            steps=1,
+        )
+        assert summary.mean_queue_wait_steps == pytest.approx(2.0)
+        assert summary.max_queue_wait_steps == 4
+
+    def test_empty_run(self):
+        summary = summarize_cluster(
+            [{}, {}],
+            [[], []],
+            arrivals=0,
+            admitted=0,
+            rejected=0,
+            abandoned=0,
+            queue_waits=[],
+            steps=0,
+        )
+        assert summary.rejection_rate == 0.0
+        assert summary.fleet_mean_power_w == 0.0
+        assert summary.watts_per_session == 0.0
+        assert summary.mean_fps == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_cluster(
+                [{}],
+                [[], []],
+                arrivals=0,
+                admitted=0,
+                rejected=0,
+                abandoned=0,
+                queue_waits=[],
+                steps=0,
+            )
