@@ -1,0 +1,207 @@
+"""Steps/sec of the scalar vs. batch stepping engine across fleet sizes.
+
+Not a paper figure — this is the performance trajectory of the cluster
+stepping hot path.  For each fleet size the fleet is saturated with two
+sessions per server (a step-0 burst admitted by ``AlwaysAdmit`` and spread
+by ``RoundRobin``), and the pure stepping loop is then timed through the
+public engine APIs (``Orchestrator.run_step``/``idle_step`` for the scalar
+engine, :class:`~repro.cluster.batch.BatchStepper` for the batch engine).
+Workload/video generation and engine warm-up are excluded, so the numbers
+isolate exactly the code the vectorization PR moved onto NumPy.
+
+Results are written to ``BENCH_throughput.json`` at the repository root so
+future PRs can regress against them::
+
+    PYTHONPATH=src python benchmarks/bench_step_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_step_throughput.py --smoke  # CI
+
+The full run asserts the batch engine's >= 5x speedup at 64+ servers; the
+smoke run only checks that both engines step a tiny fleet and agree on the
+session count (a rot canary for the batch path, cheap enough for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cluster import (
+    AlwaysAdmit,
+    BatchStepper,
+    ClusterOrchestrator,
+    RoundRobin,
+    WorkloadGenerator,
+)
+from repro.cluster.workload import TrafficModel
+from repro.manager.factories import mamut_factory, static_factory
+
+FULL_FLEETS = (1, 8, 64, 256)
+SMOKE_FLEETS = (1, 4)
+SESSIONS_PER_SERVER = 2
+SPEEDUP_FLOOR = 5.0
+SPEEDUP_FLOOR_FROM_SERVERS = 64
+
+
+class Burst(TrafficModel):
+    """All arrivals in step 0 — saturates the fleet, then steady stepping."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def rate(self, step: int) -> float:
+        return float(self.size) if step == 0 else 0.0
+
+
+def _build_cluster(
+    servers: int, steps: int, controller: str, engine: str
+) -> ClusterOrchestrator:
+    factory = (
+        static_factory(qp=32, threads=4, frequency_ghz=3.2)
+        if controller == "static"
+        else mamut_factory()
+    )
+    workload = WorkloadGenerator(
+        Burst(servers * SESSIONS_PER_SERVER),
+        seed=0,
+        frames_per_video=steps + 8,
+    )
+    return ClusterOrchestrator(
+        servers,
+        workload,
+        admission=AlwaysAdmit(),
+        dispatcher=RoundRobin(),
+        controller_factory=factory,
+        seed=0,
+        engine=engine,
+    )
+
+
+def _measure(servers: int, steps: int, controller: str, engine: str) -> dict:
+    """Time ``steps`` stepping iterations on a saturated fleet."""
+    cluster = _build_cluster(servers, steps, controller, engine)
+    # Admit the burst and absorb video generation outside the timed region.
+    cluster.run(1, drain=False)
+    sessions = sum(
+        len(orch.active_sessions()) for orch in cluster.orchestrators
+    )
+
+    if engine == "batch":
+        stepper = BatchStepper(cluster.orchestrators)
+        stepper.step(1)  # warm-up: roster gather + first fused evaluation
+        start = time.perf_counter()
+        for step in range(2, steps + 2):
+            stepper.step(step)
+        elapsed = time.perf_counter() - start
+    else:
+        orchestrators = cluster.orchestrators
+        for orch in orchestrators:  # warm-up step, symmetric with batch
+            if orch.run_step(1) is None:
+                orch.idle_step(1)
+        start = time.perf_counter()
+        for step in range(2, steps + 2):
+            for orch in orchestrators:
+                if orch.run_step(step) is None:
+                    orch.idle_step(step)
+        elapsed = time.perf_counter() - start
+
+    frames = sessions * steps
+    return {
+        "servers": servers,
+        "engine": engine,
+        "controller": controller,
+        "sessions": sessions,
+        "steps": steps,
+        "elapsed_s": elapsed,
+        "steps_per_s": steps / elapsed,
+        "frames_per_s": frames / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_benchmark(
+    fleets: tuple[int, ...], steps: int, controller: str
+) -> dict:
+    results = []
+    speedups = {}
+    for servers in fleets:
+        scalar = _measure(servers, steps, controller, "scalar")
+        batch = _measure(servers, steps, controller, "batch")
+        results.extend([scalar, batch])
+        speedup = batch["steps_per_s"] / scalar["steps_per_s"]
+        speedups[str(servers)] = speedup
+        print(
+            f"servers={servers:4d} sessions={batch['sessions']:4d} "
+            f"scalar={scalar['steps_per_s']:9.1f} steps/s "
+            f"batch={batch['steps_per_s']:9.1f} steps/s "
+            f"speedup={speedup:5.2f}x"
+        )
+    return {
+        "benchmark": "step_throughput",
+        "controller": controller,
+        "sessions_per_server": SESSIONS_PER_SERVER,
+        "steps_timed": steps,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+        "speedup_batch_over_scalar": speedups,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fleets and few steps: a fast CI canary for the batch path",
+    )
+    parser.add_argument(
+        "--controller",
+        choices=("static", "mamut"),
+        default="static",
+        help="per-session controller (static isolates the stepping engine)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, help="stepping iterations to time"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_throughput.json",
+        help="where to write the JSON results (skipped in smoke mode)",
+    )
+    args = parser.parse_args()
+
+    fleets = SMOKE_FLEETS if args.smoke else FULL_FLEETS
+    steps = args.steps if args.steps is not None else (6 if args.smoke else 60)
+
+    payload = run_benchmark(fleets, steps, args.controller)
+
+    if args.smoke:
+        # Rot canary: both engines stepped a saturated fleet.
+        counts = {
+            (r["servers"], r["engine"]): r["sessions"]
+            for r in payload["results"]
+        }
+        for servers in fleets:
+            assert counts[(servers, "scalar")] == counts[(servers, "batch")] > 0
+        print("smoke ok")
+        return
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    floor_fleets = [s for s in fleets if s >= SPEEDUP_FLOOR_FROM_SERVERS]
+    if args.controller == "static" and floor_fleets:
+        for servers in floor_fleets:
+            speedup = payload["speedup_batch_over_scalar"][str(servers)]
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"batch engine speedup regressed: {speedup:.2f}x at "
+                f"{servers} servers (floor {SPEEDUP_FLOOR}x)"
+            )
+        print(f"speedup floor ({SPEEDUP_FLOOR}x at 64+ servers) holds")
+
+
+if __name__ == "__main__":
+    main()

@@ -143,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # Accepted after the subcommand as well (SUPPRESS keeps the pre-command
     # values when the trailing flags are absent).
+    cluster.add_argument(
+        "--engine",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="stepping engine: vectorized NumPy batch (default) or scalar",
+    )
     cluster.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     cluster.add_argument("--power-cap", type=float, default=argparse.SUPPRESS)
 
@@ -300,6 +306,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         dispatcher=dispatcher,
         power_cap_w=args.power_cap,
         seed=args.seed,
+        engine=args.engine,
     )
     summary = cluster.run(args.duration, drain=not args.no_drain).summary()
 

@@ -19,6 +19,7 @@ from repro.cluster.admission import (
     CapacityThreshold,
     PowerHeadroom,
 )
+from repro.cluster.batch import BatchStepper
 from repro.cluster.cluster import ClusterOrchestrator, ClusterResult
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded, PowerAware, RoundRobin
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
@@ -56,6 +57,7 @@ __all__ = [
     "ClusterSnapshot",
     "ServerSnapshot",
     # orchestration
+    "BatchStepper",
     "ClusterOrchestrator",
     "ClusterResult",
 ]

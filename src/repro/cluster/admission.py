@@ -103,14 +103,11 @@ class CapacityThreshold(AdmissionPolicy):
 class PowerHeadroom(AdmissionPolicy):
     """Admit only while the fleet's power budget has headroom.
 
-    The expected marginal power of one more session is estimated from the
-    fleet's draw *above idle* at the last power measurement (busy power per
-    measured session — base and parked-core power would grossly overstate
-    the marginal cost), falling back to ``watts_per_session_estimate`` when
-    nothing was running.  Fleet power is only sampled once per step, so the
-    decision projects it forward by the marginal estimate for every session
-    admitted since that sample — otherwise a burst arriving within one step
-    would be admitted wholesale against a stale reading.  A request is
+    Marginal-power estimation and the within-step projection live on the
+    snapshot (:meth:`~repro.cluster.state.ClusterSnapshot.marginal_session_power_w`
+    and :meth:`~repro.cluster.state.ClusterSnapshot.projected_power_w`,
+    shared with :class:`~repro.cluster.dispatch.PowerAware`), with
+    ``watts_per_session_estimate`` as the idle-fleet fallback.  A request is
     admitted while the projection plus one more marginal session fits under
     ``snapshot.power_cap_w``, queued while the backlog is below
     ``max_queue``, and rejected otherwise.
@@ -130,15 +127,8 @@ class PowerHeadroom(AdmissionPolicy):
         self.max_queue = int(max_queue)
 
     def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
-        measured = snapshot.total_last_active_sessions
-        busy_w = snapshot.fleet_power_w - snapshot.fleet_idle_power_w
-        if measured > 0 and busy_w > 0:
-            marginal_w = busy_w / measured
-        else:
-            marginal_w = self.watts_per_session_estimate
-        # Power committed by sessions admitted since the last sample.
-        unmeasured = max(0, snapshot.total_active_sessions - measured)
-        projected_w = snapshot.fleet_power_w + marginal_w * unmeasured
+        marginal_w = snapshot.marginal_session_power_w(self.watts_per_session_estimate)
+        projected_w = snapshot.projected_power_w(self.watts_per_session_estimate)
         if projected_w + marginal_w <= snapshot.power_cap_w:
             return AdmissionVerdict.ADMIT
         if snapshot.queue_length < self.max_queue:

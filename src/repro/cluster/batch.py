@@ -1,0 +1,679 @@
+"""Vectorized batch stepping engine for fleets of transcoding servers.
+
+The scalar engine advances a fleet one session at a time: per frame it walks
+``Orchestrator.run_step`` → ``TranscodingSession.prepare``/``execute`` →
+scalar calls into the WPP, complexity, rate-distortion and power models.
+That per-session Python work caps cluster experiments at tens of servers.
+
+The :class:`BatchStepper` replaces the per-session math with one fused NumPy
+evaluation per cluster step:
+
+1. **Gather** — every active session's controller is asked for its decision
+   (:meth:`~repro.manager.session.TranscodingSession.peek_decision`; Q-table
+   agents stay per-session so their exploration randomness and Q updates are
+   untouched), and the decisions plus per-frame content descriptors are
+   packed into contiguous struct-of-arrays buffers ordered server-major.
+2. **Evaluate** — WPP speedup/efficiency, server thread allocation and
+   contention, package power, decode/encode cycles and times, PSNR and
+   bitrate are computed for the whole fleet in a handful of array
+   expressions that mirror the scalar formulas operation for operation.
+3. **Scatter** — per-session results are written back through
+   :meth:`~repro.manager.session.TranscodingSession.commit_step_result`
+   (producing the same ``FrameRecord``/``Observation`` objects the scalar
+   path creates) and one ``PowerSample`` per server is emitted.
+
+**Equivalence guarantee.**  For the same ``(workload seed, policies, cluster
+seed)`` the batch engine produces *bitwise identical* results to the scalar
+engine — same frame records, same power samples, same admission ledger, same
+``ClusterSummary``.  This holds because the shared models evaluate the same
+IEEE-754 operations in the same order (transcendental factors go through
+per-QP lookup tables shared between the scalar and batch paths), and float
+reductions (per-server power and duration sums) are applied in the scalar
+engine's accumulation order.  The equivalence is enforced by
+``tests/test_cluster_batch.py``.
+
+Two deliberate deviations from the scalar path, neither observable in the
+results: the in-memory DVFS driver mirror (``MulticoreServer``'s
+``_apply_to_driver`` bookkeeping) is not maintained, and intermediate
+``SessionDemand``/``ServerAllocation``/``TranscodeResult`` objects are never
+materialised.  The batch engine also assumes the stock analytic models:
+custom *parameters* are honoured (they are gathered per session), but
+subclasses that override model *methods* need the scalar engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import TARGET_FPS
+from repro.core.observation import Observation
+from repro.errors import EncodingError
+from repro.hevc.params import QP_MAX, QP_MIN
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.session import TranscodingSession
+from repro.metrics.records import FrameRecord, PowerSample
+from repro.platform.dvfs import DvfsPolicy
+
+__all__ = ["BatchStepper"]
+
+
+class _ServerStatic:
+    """Per-server constants gathered once at stepper construction."""
+
+    __slots__ = (
+        "cores",
+        "hw_threads",
+        "smt_efficiency",
+        "base_power_w",
+        "core_leakage_w",
+        "core_dynamic_w",
+        "core_dynamic_smt2_w",
+        "power_model",
+        "min_frequency_ghz",
+        "idle_core_power_min_w",
+        "idle_core_power_cache",
+        "idle_total_power_w",
+        "vt_group",
+    )
+
+    def __init__(self, orchestrator: Orchestrator, vt_group: int) -> None:
+        server = orchestrator.server
+        topo = server.topology
+        params = server.power_model.params
+        self.cores = topo.physical_cores
+        self.hw_threads = topo.hardware_threads
+        self.smt_efficiency = topo.smt_efficiency
+        self.base_power_w = params.base_power_w
+        self.core_leakage_w = params.core_leakage_w
+        self.core_dynamic_w = params.core_dynamic_w
+        # Matches the scalar ``core_dynamic_w * (1.0 + bonus * (2 - 1))``.
+        self.core_dynamic_smt2_w = params.core_dynamic_w * (
+            1.0 + params.smt_activity_bonus
+        )
+        self.power_model = server.power_model
+        self.min_frequency_ghz = server.dvfs.min_frequency_ghz
+        self.idle_core_power_min_w = server.power_model.idle_core_power(
+            self.min_frequency_ghz
+        )
+        # Chip-wide idle power per requested frequency; the DVFS action sets
+        # are tiny, so this saturates after a handful of entries.
+        self.idle_core_power_cache: dict[float, float] = {}
+        # allocate([]) is side-effect free and deterministic, so this equals
+        # what Orchestrator.idle_step would compute on every idle step.
+        self.idle_total_power_w = server.allocate([]).total_power_w
+        self.vt_group = vt_group
+
+
+class _SessionLane:
+    """Per-session constants plus the current video's content columns."""
+
+    __slots__ = (
+        "session",
+        "video_index",
+        "session_id",
+        "target_fps",
+        "step_counter",
+        "video_name",
+        "resolution_class",
+        # session-static model constants
+        "comp_key",
+        "rd_key",
+        "base_cycles_per_pixel",
+        "complexity_weight",
+        "one_minus_complexity_weight",
+        "motion_weight",
+        "intra_cost_factor",
+        "decode_base",
+        "psnr_at_ref_qp",
+        "psnr_slope",
+        "psnr_ref_qp",
+        "psnr_complexity_penalty",
+        "psnr_motion_penalty",
+        "psnr_floor",
+        "psnr_ceiling",
+        "bpp_at_ref_qp",
+        "intra_rate_factor",
+        "sync_overhead",
+        "delivery_fps",
+        # video-static values (refreshed at playlist transitions)
+        "pixels",
+        "rows",
+        "cols",
+        "serial_units",
+        "effort_factor",
+        "quality_gain_db",
+        "compression_gain",
+        "complexity_col",
+        "motion_col",
+        "scene_col",
+    )
+
+    def __init__(self, session: TranscodingSession) -> None:
+        self.session = session
+        self.session_id = session.session_id
+        self.target_fps = session.request.target_fps
+        self.step_counter = session.step
+
+        encoder = session.transcoder.encoder
+        comp = encoder.complexity_model.params
+        rd = encoder.rd_model.params
+        wpp = encoder.wpp_model.params
+        decode = session.transcoder.decoder.complexity_model.params
+
+        self.comp_key = comp
+        self.rd_key = rd
+        self.base_cycles_per_pixel = comp.base_cycles_per_pixel
+        self.complexity_weight = comp.complexity_weight
+        self.one_minus_complexity_weight = 1.0 - comp.complexity_weight
+        self.motion_weight = comp.motion_weight
+        self.intra_cost_factor = comp.intra_cost_factor
+        # First product of the scalar decode-cycles chain.
+        self.decode_base = decode.decode_fraction * decode.base_cycles_per_pixel
+        self.psnr_at_ref_qp = rd.psnr_at_ref_qp
+        self.psnr_slope = rd.psnr_slope_db_per_qp
+        self.psnr_ref_qp = rd.ref_qp
+        self.psnr_complexity_penalty = rd.psnr_complexity_penalty_db
+        self.psnr_motion_penalty = rd.psnr_motion_penalty_db
+        self.psnr_floor = rd.psnr_floor_db
+        self.psnr_ceiling = rd.psnr_ceiling_db
+        self.bpp_at_ref_qp = rd.bpp_at_ref_qp
+        self.intra_rate_factor = rd.intra_rate_factor
+        self.sync_overhead = wpp.sync_overhead_per_thread
+        self.delivery_fps = encoder.delivery_fps
+
+        self.refresh_video()
+
+    def refresh_video(self) -> None:
+        """Re-gather the values that depend on the current playlist video."""
+        session = self.session
+        video = session.current_video
+        encoder = session.transcoder.encoder
+        self.video_index = session.video_index
+        self.video_name = video.name
+        self.resolution_class = video.resolution_class
+        self.pixels = video.pixels_per_frame
+        self.rows = encoder.wpp_model.ctu_rows(video.height)
+        self.cols = encoder.wpp_model.ctu_cols(video.width)
+        self.serial_units = self.rows * self.cols
+        preset = session.preset_for(video)
+        self.effort_factor = preset.effort_factor
+        self.quality_gain_db = preset.quality_gain_db
+        self.compression_gain = preset.compression_gain
+        frames = video.frames
+        self.complexity_col = [f.complexity for f in frames]
+        self.motion_col = [f.motion for f in frames]
+        self.scene_col = [f.is_scene_change for f in frames]
+
+
+#: Names of the video-static per-lane float columns, in array order.
+_VIDEO_COLUMNS = (
+    "pixels",
+    "rows",
+    "cols",
+    "serial_units",
+    "effort_factor",
+    "quality_gain_db",
+    "compression_gain",
+)
+
+#: Names of the session-static per-lane float columns, in array order.
+_STATIC_COLUMNS = (
+    "base_cycles_per_pixel",
+    "complexity_weight",
+    "one_minus_complexity_weight",
+    "motion_weight",
+    "intra_cost_factor",
+    "decode_base",
+    "psnr_at_ref_qp",
+    "psnr_slope",
+    "psnr_ref_qp",
+    "psnr_complexity_penalty",
+    "psnr_motion_penalty",
+    "psnr_floor",
+    "psnr_ceiling",
+    "bpp_at_ref_qp",
+    "intra_rate_factor",
+    "sync_overhead",
+    "delivery_fps",
+)
+
+
+class BatchStepper:
+    """Advances a fleet of orchestrators one step per call, batched.
+
+    Parameters
+    ----------
+    orchestrators:
+        The per-server orchestrators, in fleet order.  Sessions may join and
+        leave between steps (the roster is re-gathered automatically); the
+        stepper reads each orchestrator's live ``active_sessions()`` exactly
+        like the scalar engine does.
+    """
+
+    def __init__(self, orchestrators: Sequence[Orchestrator]) -> None:
+        self.orchestrators = list(orchestrators)
+
+        # Group identical voltage tables so heterogeneous fleets still
+        # evaluate each distinct table in one vectorized call.
+        self._voltage_tables: list = []
+        vt_keys: dict[tuple, int] = {}
+        self._servers: list[_ServerStatic] = []
+        for orch in self.orchestrators:
+            table = orch.server.power_model.voltage_table
+            key = (tuple(table._freqs), tuple(table._volts))
+            group = vt_keys.setdefault(key, len(self._voltage_tables))
+            if group == len(self._voltage_tables):
+                self._voltage_tables.append(table)
+            self._servers.append(_ServerStatic(orch, group))
+
+        self._srv_cores = np.array([s.cores for s in self._servers], dtype=np.int64)
+        self._srv_hw = np.array(
+            [s.hw_threads for s in self._servers], dtype=np.int64
+        )
+        self._srv_smt_eff = np.array([s.smt_efficiency for s in self._servers])
+        self._srv_leak = np.array([s.core_leakage_w for s in self._servers])
+        self._srv_dyn = np.array([s.core_dynamic_w for s in self._servers])
+        self._srv_dyn_smt2 = np.array(
+            [s.core_dynamic_smt2_w for s in self._servers]
+        )
+        self._srv_vt_group = np.array(
+            [s.vt_group for s in self._servers], dtype=np.int64
+        )
+
+        # Roster state (rebuilt whenever fleet membership changes).
+        self._roster: list[TranscodingSession] = []
+        self._lanes: list[_SessionLane] = []
+        self._lane_by_session: dict[TranscodingSession, _SessionLane] = {}
+        self._counts: list[int] = []
+        self._starts: list[int] = []
+        self._static = {}
+        self._video_static = {}
+        self._comp_rows: dict = {}
+        self._rd_rows: dict = {}
+        self._comp_tables: Optional[np.ndarray] = None
+        self._rd_tables: Optional[np.ndarray] = None
+        self._comp_row_idx = np.empty(0, dtype=np.int64)
+        self._rd_row_idx = np.empty(0, dtype=np.int64)
+        self._leak_s = np.empty(0)
+        self._dyn_s = np.empty(0)
+        self._dyn_smt2_s = np.empty(0)
+        self._vt_group_s = np.empty(0, dtype=np.int64)
+
+    # -- roster maintenance --------------------------------------------------------
+
+    def _qp_table_row(
+        self, tables: dict, model, build
+    ) -> int:
+        key = model.params
+        row = tables.get(key)
+        if row is None:
+            row = len(tables)
+            tables[key] = (row, np.array(build(model)))
+            return row
+        return row[0]
+
+    def _rebuild_roster(self, actives: list[list[TranscodingSession]]) -> None:
+        """Re-gather per-session static columns after a membership change."""
+        lanes: list[_SessionLane] = []
+        lane_map: dict[TranscodingSession, _SessionLane] = {}
+        counts: list[int] = []
+        roster: list[TranscodingSession] = []
+        for sessions in actives:
+            counts.append(len(sessions))
+            for session in sessions:
+                lane = self._lane_by_session.get(session)
+                if lane is None:
+                    lane = _SessionLane(session)
+                lanes.append(lane)
+                lane_map[session] = lane
+                roster.append(session)
+
+        self._lanes = lanes
+        self._lane_by_session = lane_map
+        self._roster = roster
+        self._counts = counts
+        starts = [0]
+        for count in counts:
+            starts.append(starts[-1] + count)
+        self._starts = starts
+
+        self._static = {
+            name: np.array([getattr(lane, name) for lane in lanes])
+            for name in _STATIC_COLUMNS
+        }
+        self._video_static = {
+            name: np.array([float(getattr(lane, name)) for lane in lanes])
+            for name in _VIDEO_COLUMNS
+        }
+
+        # Stacked per-QP lookup tables, one row per distinct parameter set.
+        for lane in lanes:
+            encoder = lane.session.transcoder.encoder
+            self._qp_table_row(
+                self._comp_rows,
+                encoder.complexity_model,
+                lambda model: model._qp_factor_table(),
+            )
+            self._qp_table_row(
+                self._rd_rows,
+                encoder.rd_model,
+                lambda model: model._qp_rate_table(),
+            )
+        # Row order is dict insertion order, matching the indices handed out.
+        self._comp_tables = (
+            np.vstack([entry[1] for entry in self._comp_rows.values()])
+            if self._comp_rows
+            else None
+        )
+        self._rd_tables = (
+            np.vstack([entry[1] for entry in self._rd_rows.values()])
+            if self._rd_rows
+            else None
+        )
+        self._comp_row_idx = np.array(
+            [
+                self._comp_rows[
+                    lane.session.transcoder.encoder.complexity_model.params
+                ][0]
+                for lane in lanes
+            ],
+            dtype=np.int64,
+        )
+        self._rd_row_idx = np.array(
+            [
+                self._rd_rows[lane.session.transcoder.encoder.rd_model.params][0]
+                for lane in lanes
+            ],
+            dtype=np.int64,
+        )
+
+        counts_arr = np.array(counts, dtype=np.int64)
+        self._leak_s = np.repeat(self._srv_leak, counts_arr)
+        self._dyn_s = np.repeat(self._srv_dyn, counts_arr)
+        self._dyn_smt2_s = np.repeat(self._srv_dyn_smt2, counts_arr)
+        self._vt_group_s = np.repeat(self._srv_vt_group, counts_arr)
+
+    def _refresh_video_columns(self) -> None:
+        """Apply in-place updates for sessions that moved to the next video."""
+        for index, lane in enumerate(self._lanes):
+            session = lane.session
+            if session.active and session.video_index != lane.video_index:
+                lane.refresh_video()
+                for name in _VIDEO_COLUMNS:
+                    self._video_static[name][index] = float(getattr(lane, name))
+
+    # -- stepping -------------------------------------------------------------------
+
+    def _voltage_arrays(self, freq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if len(self._voltage_tables) == 1:
+            table = self._voltage_tables[0]
+            return (
+                table.relative_voltage_batch(freq),
+                table.relative_dynamic_batch(freq),
+            )
+        v_rel = np.empty_like(freq)
+        dyn_rel = np.empty_like(freq)
+        for group, table in enumerate(self._voltage_tables):
+            mask = self._vt_group_s == group
+            if mask.any():
+                sub = freq[mask]
+                v_rel[mask] = table.relative_voltage_batch(sub)
+                dyn_rel[mask] = table.relative_dynamic_batch(sub)
+        return v_rel, dyn_rel
+
+    def _idle_sample(self, server_index: int, step: int) -> PowerSample:
+        static = self._servers[server_index]
+        sample = PowerSample(
+            step=step,
+            power_w=static.idle_total_power_w,
+            duration_s=1.0 / TARGET_FPS,
+            active_sessions=0,
+        )
+        self.orchestrators[server_index].meter.record(
+            sample.power_w, sample.duration_s
+        )
+        return sample
+
+    def step(self, step: int) -> list[PowerSample]:
+        """Advance every server by one step; returns one sample per server.
+
+        Idle servers contribute their idle power exactly like
+        :meth:`~repro.manager.orchestrator.Orchestrator.idle_step`.
+        """
+        actives = [orch.active_sessions() for orch in self.orchestrators]
+        flat = [session for sessions in actives for session in sessions]
+
+        if not flat:
+            return [
+                self._idle_sample(index, step)
+                for index in range(len(self.orchestrators))
+            ]
+
+        if flat != self._roster:
+            self._rebuild_roster(actives)
+
+        lanes = self._lanes
+
+        # -- gather: controller decisions + per-frame content -------------------
+        qp_l: list[int] = []
+        threads_l: list[int] = []
+        freq_l: list[float] = []
+        fidx_l: list[int] = []
+        cx_l: list[float] = []
+        mo_l: list[float] = []
+        sc_l: list[bool] = []
+        for lane in lanes:
+            decision = lane.session.peek_decision()
+            qp_l.append(decision.qp)
+            threads_l.append(decision.threads)
+            freq_l.append(decision.frequency_ghz)
+            frame_index = lane.session.frame_index
+            fidx_l.append(frame_index)
+            cx_l.append(lane.complexity_col[frame_index])
+            mo_l.append(lane.motion_col[frame_index])
+            sc_l.append(lane.scene_col[frame_index])
+
+        qp = np.array(qp_l, dtype=np.int64)
+        # Decision.__post_init__ already enforces threads >= 1 and a positive
+        # frequency; QP is only range-checked by EncoderConfig, which the
+        # batch path never builds — enforce it here so a misbehaving custom
+        # controller fails exactly like it would on the scalar engine.
+        if qp.min() < QP_MIN or qp.max() > QP_MAX:
+            raise EncodingError(f"QP must be in [{QP_MIN}, {QP_MAX}]")
+        threads = np.array(threads_l, dtype=np.int64)
+        freq = np.array(freq_l)
+        complexity = np.array(cx_l)
+        motion = np.array(mo_l)
+        scene = np.array(sc_l, dtype=bool)
+
+        static = self._static
+        video = self._video_static
+        rows = video["rows"]
+        cols = video["cols"]
+        serial_units = video["serial_units"]
+        pixels = video["pixels"]
+
+        # -- WPP speedup and thread efficiency (mirrors WppModel.speedup) -------
+        usable = np.minimum(threads, rows)
+        parallel_units = (rows / usable) * cols + 2 * (usable - 1)
+        raw_speedup = serial_units / parallel_units
+        overhead = 1.0 + static["sync_overhead"] * (threads - 1)
+        speedup = np.maximum(1.0, raw_speedup / overhead)
+        speedup = np.where(threads > 1, speedup, 1.0)
+        activity = speedup / threads
+
+        # -- per-server allocation (mirrors MulticoreServer.allocate) -----------
+        counts = self._counts
+        starts = self._starts
+        busy_idx = [i for i, count in enumerate(counts) if count > 0]
+        busy_starts = np.array([starts[i] for i in busy_idx], dtype=np.int64)
+        busy_counts = np.array([counts[i] for i in busy_idx], dtype=np.int64)
+        busy = np.array(busy_idx, dtype=np.int64)
+
+        total_threads = np.add.reduceat(threads, busy_starts)
+        cores_b = self._srv_cores[busy]
+        hw_b = self._srv_hw[busy]
+        smt_eff_b = self._srv_smt_eff[busy]
+
+        shared = np.minimum(total_threads, hw_b) - cores_b
+        capacity = np.where(
+            total_threads <= cores_b,
+            total_threads.astype(float),
+            (cores_b - shared) + 2 * shared * smt_eff_b,
+        )
+        scale_b = np.minimum(1.0, capacity / total_threads)
+
+        busy_physical = np.minimum(total_threads, cores_b).astype(float)
+        smt_cores = np.maximum(0, np.minimum(total_threads, hw_b) - cores_b).astype(
+            float
+        )
+        single_cores = busy_physical - smt_cores
+        idle_cores = cores_b - busy_physical
+
+        scale_rep = np.repeat(scale_b, busy_counts)
+        total_rep = np.repeat(total_threads, busy_counts)
+        single_rep = np.repeat(single_cores, busy_counts)
+        smt_rep = np.repeat(smt_cores, busy_counts)
+
+        effective_activity = np.minimum(1.0, activity / scale_rep)
+        v_rel, dyn_rel = self._voltage_arrays(freq)
+        leakage = self._leak_s * v_rel
+        per_single = leakage + (self._dyn_s * dyn_rel) * effective_activity
+        per_smt = leakage + (self._dyn_smt2_s * dyn_rel) * effective_activity
+
+        share = threads / total_rep
+        own_single = share * single_rep
+        own_smt = share * smt_rep
+        session_power = own_single * per_single + own_smt * per_smt
+
+        # -- transcode math (mirrors HevcDecoder/HevcEncoder) --------------------
+        decode_cycles = (static["decode_base"] * pixels) * (0.7 + 0.3 * complexity)
+        decode_time = decode_cycles / (freq * 1e9)
+
+        qp_factor = self._comp_tables[self._comp_row_idx, qp - QP_MIN]
+        content_factor = (
+            static["one_minus_complexity_weight"]
+            + static["complexity_weight"] * complexity
+        )
+        motion_factor = 1.0 + static["motion_weight"] * motion
+        intra_factor = np.where(scene, static["intra_cost_factor"], 1.0)
+        encode_cycles = (
+            static["base_cycles_per_pixel"]
+            * pixels
+            * video["effort_factor"]
+            * qp_factor
+            * content_factor
+            * motion_factor
+            * intra_factor
+        )
+        effective = np.maximum(1.0, speedup * scale_rep)
+        encode_time = encode_cycles / (freq * 1e9 * effective)
+
+        psnr = (
+            static["psnr_at_ref_qp"]
+            - static["psnr_slope"] * (qp - static["psnr_ref_qp"])
+            - static["psnr_complexity_penalty"] * (complexity - 1.0)
+            - static["psnr_motion_penalty"] * motion
+            + video["quality_gain_db"]
+        )
+        psnr = np.minimum(
+            np.maximum(psnr, static["psnr_floor"]), static["psnr_ceiling"]
+        )
+
+        qp_scale = self._rd_tables[self._rd_row_idx, qp - QP_MIN]
+        content_scale = complexity * (0.8 + 0.4 * motion)
+        intra_scale = np.where(scene, static["intra_rate_factor"], 1.0)
+        bpp = (
+            static["bpp_at_ref_qp"]
+            * qp_scale
+            * content_scale
+            * intra_scale
+            * video["compression_gain"]
+        )
+        bits = bpp * pixels
+        bitrate = bits * static["delivery_fps"] / 1e6
+
+        total_time = decode_time + encode_time
+        fps = 1.0 / total_time
+
+        # -- scatter -------------------------------------------------------------
+        fps_l = fps.tolist()
+        psnr_l = psnr.tolist()
+        bitrate_l = bitrate.tolist()
+        time_l = total_time.tolist()
+        power_l = session_power.tolist()
+        freq_list = freq_l
+        idle_cores_l = idle_cores.tolist()
+
+        samples: list[Optional[PowerSample]] = [None] * len(self.orchestrators)
+        make_observation = Observation
+        make_record = FrameRecord
+        for k, server_index in enumerate(busy_idx):
+            start = starts[server_index]
+            end = start + counts[server_index]
+            orch = self.orchestrators[server_index]
+            server_static = self._servers[server_index]
+
+            # Idle/base power share (mirrors allocate's shared_power).
+            if orch.server.dvfs_policy is DvfsPolicy.CHIP_WIDE:
+                idle_freq = max(freq_list[start:end])
+                cache = server_static.idle_core_power_cache
+                idle_core_power = cache.get(idle_freq)
+                if idle_core_power is None:
+                    idle_core_power = server_static.power_model.idle_core_power(
+                        idle_freq
+                    )
+                    cache[idle_freq] = idle_core_power
+            else:
+                idle_core_power = server_static.idle_core_power_min_w
+            idle_power = idle_cores_l[k] * idle_core_power
+            shared_power = server_static.base_power_w + idle_power
+            busy_power_total = sum(power_l[start:end])
+            total_power = shared_power + busy_power_total
+
+            for i in range(start, end):
+                lane = lanes[i]
+                fps_i = fps_l[i]
+                psnr_i = psnr_l[i]
+                bitrate_i = bitrate_l[i]
+                # Positional construction, field order of the dataclasses.
+                observation = make_observation(
+                    fps_i, psnr_i, bitrate_i, total_power
+                )
+                record = make_record(
+                    lane.session_id,
+                    lane.step_counter,
+                    lane.video_name,
+                    fidx_l[i],
+                    lane.resolution_class,
+                    qp_l[i],
+                    threads_l[i],
+                    freq_l[i],
+                    fps_i,
+                    psnr_i,
+                    bitrate_i,
+                    time_l[i],
+                    total_power,
+                    lane.target_fps,
+                )
+                lane.step_counter += 1
+                lane.session.commit_step_result(record, observation)
+
+            duration = sum(time_l[start:end]) / counts[server_index]
+            sample = PowerSample(
+                step=step,
+                power_w=total_power,
+                duration_s=duration,
+                active_sessions=counts[server_index],
+            )
+            orch.meter.record(sample.power_w, sample.duration_s)
+            samples[server_index] = sample
+
+        for server_index in range(len(self.orchestrators)):
+            if samples[server_index] is None:
+                samples[server_index] = self._idle_sample(server_index, step)
+
+        self._refresh_video_columns()
+        return samples  # type: ignore[return-value]

@@ -13,9 +13,16 @@ step-wise; each step it
    nothing to do so fleet energy accounting includes the machines that are
    merely switched on.
 
+Step 4 runs on one of two engines selected by the ``engine`` parameter:
+``"batch"`` (the default) advances the whole fleet in one fused NumPy batch
+per step via :class:`~repro.cluster.batch.BatchStepper`; ``"scalar"`` steps
+server by server and session by session through the scalar model calls.  The
+engines are seed-for-seed equivalent — same results, the batch engine is
+just what makes thousand-server fleets tractable.
+
 Everything downstream of the seed is deterministic: the same
 ``(workload seed, policies, cluster seed)`` tuple reproduces the identical
-:class:`ClusterResult`.
+:class:`ClusterResult` on either engine.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import Mapping, Optional, Sequence
 from repro.constants import DEFAULT_POWER_CAP_W
 from repro.errors import ClusterError
 from repro.cluster.admission import AdmissionPolicy, AdmissionVerdict, CapacityThreshold
+from repro.cluster.batch import BatchStepper
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import WorkloadEvent, WorkloadGenerator
@@ -109,6 +117,12 @@ class ClusterOrchestrator:
     seed:
         Seeds the per-session controller randomness (the workload carries
         its own seed).
+    engine:
+        ``"batch"`` (default) advances the fleet through the vectorized
+        :class:`~repro.cluster.batch.BatchStepper`; ``"scalar"`` steps each
+        server's sessions one by one.  Both engines produce identical
+        results for the same seed; use ``"scalar"`` when sessions carry
+        models whose *methods* (not just parameters) were overridden.
     """
 
     def __init__(
@@ -122,9 +136,14 @@ class ClusterOrchestrator:
         power_cap_w: float = DEFAULT_POWER_CAP_W,
         fleet_power_cap_w: Optional[float] = None,
         seed: int = 0,
+        engine: str = "batch",
     ) -> None:
         if num_servers < 1:
             raise ClusterError(f"num_servers must be >= 1, got {num_servers}")
+        if engine not in ("batch", "scalar"):
+            raise ClusterError(
+                f"engine must be 'batch' or 'scalar', got {engine!r}"
+            )
         self.workload = workload
         self.admission = admission if admission is not None else CapacityThreshold()
         self.dispatcher = dispatcher if dispatcher is not None else LeastLoaded()
@@ -140,6 +159,8 @@ class ClusterOrchestrator:
             else num_servers * self.power_cap_w
         )
         self.seed = int(seed)
+        self.engine = engine
+        self._stepper: Optional[BatchStepper] = None
         self.orchestrators = [
             Orchestrator(server=server_factory()) for _ in range(num_servers)
         ]
@@ -304,10 +325,18 @@ class ClusterOrchestrator:
 
     def _advance(self, step: int, samples: list[list[PowerSample]]) -> None:
         """Step every server once, sampling idle power on empty servers."""
-        for index, orch in enumerate(self.orchestrators):
-            sample = orch.run_step(step)
-            if sample is None:
-                sample = orch.idle_step(step)
+        if self.engine == "batch":
+            if self._stepper is None:
+                self._stepper = BatchStepper(self.orchestrators)
+            step_samples = self._stepper.step(step)
+        else:
+            step_samples = []
+            for orch in self.orchestrators:
+                sample = orch.run_step(step)
+                if sample is None:
+                    sample = orch.idle_step(step)
+                step_samples.append(sample)
+        for index, sample in enumerate(step_samples):
             samples[index].append(sample)
             self._last_power_w[index] = sample.power_w
             self._last_active[index] = sample.active_sessions

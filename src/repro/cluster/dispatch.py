@@ -72,11 +72,12 @@ class PowerAware(DispatchPolicy):
 
     Server power is only sampled once per step, so ranking raw
     ``last_power_w`` would pile every request of a within-step burst onto
-    the single coolest machine.  Instead each server's reading is projected
-    forward by its marginal power per session (busy draw over the sessions
-    measured, falling back to ``watts_per_session_estimate`` on an idle
-    server) for every session admitted since the sample — mirroring the
-    projection :class:`~repro.cluster.admission.PowerHeadroom` applies.
+    the single coolest machine.  Instead each server is ranked by
+    :meth:`~repro.cluster.state.ServerSnapshot.projected_power_w` — its last
+    reading projected forward by the marginal power of every session
+    admitted since the sample, with ``watts_per_session_estimate`` as the
+    idle-server fallback (the same helper family
+    :class:`~repro.cluster.admission.PowerHeadroom` uses fleet-wide).
     Ties break by active-session count and then by index, so dispatch stays
     deterministic.
     """
@@ -89,21 +90,13 @@ class PowerAware(DispatchPolicy):
             )
         self.watts_per_session_estimate = float(watts_per_session_estimate)
 
-    def _projected_power_w(self, server) -> float:
-        busy_w = server.last_power_w - server.idle_power_w
-        if server.last_active_sessions > 0 and busy_w > 0:
-            marginal_w = busy_w / server.last_active_sessions
-        else:
-            marginal_w = self.watts_per_session_estimate
-        pending = max(0, server.active_sessions - server.last_active_sessions)
-        return server.last_power_w + marginal_w * pending
-
     def select(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
         self._require_servers(snapshot)
+        estimate = self.watts_per_session_estimate
         best = min(
             snapshot.servers,
             key=lambda s: (
-                self._projected_power_w(s),
+                s.projected_power_w(estimate),
                 s.active_sessions,
                 s.server_index,
             ),

@@ -47,6 +47,31 @@ class ServerSnapshot:
     idle_power_w: float = 0.0
     last_active_sessions: int = 0
 
+    def marginal_session_power_w(self, fallback_w: float) -> float:
+        """Estimated package power one more session would add.
+
+        Derived from the server's draw *above idle* at the last measurement
+        (base and parked-core power would grossly overstate the marginal
+        cost), falling back to ``fallback_w`` when nothing was measured
+        running.
+        """
+        busy_w = self.last_power_w - self.idle_power_w
+        if self.last_active_sessions > 0 and busy_w > 0:
+            return busy_w / self.last_active_sessions
+        return fallback_w
+
+    def projected_power_w(self, fallback_marginal_w: float) -> float:
+        """Power projected to the sessions admitted since the last sample.
+
+        Power is only sampled once per step, so scheduling decisions made
+        within a step would otherwise act on a stale reading; the projection
+        adds one marginal-session estimate for every session admitted since
+        the sample was taken.
+        """
+        marginal_w = self.marginal_session_power_w(fallback_marginal_w)
+        pending = max(0, self.active_sessions - self.last_active_sessions)
+        return self.last_power_w + marginal_w * pending
+
 
 @dataclasses.dataclass(frozen=True)
 class ClusterSnapshot:
@@ -100,3 +125,26 @@ class ClusterSnapshot:
     def least_loaded(self) -> ServerSnapshot:
         """The server with the fewest active sessions (lowest index on ties)."""
         return min(self.servers, key=lambda s: (s.active_sessions, s.server_index))
+
+    def marginal_session_power_w(self, fallback_w: float) -> float:
+        """Fleet-level analogue of :meth:`ServerSnapshot.marginal_session_power_w`.
+
+        Estimated from the fleet's draw above idle at the last measurement,
+        falling back to ``fallback_w`` when nothing was measured running.
+        """
+        measured = self.total_last_active_sessions
+        busy_w = self.fleet_power_w - self.fleet_idle_power_w
+        if measured > 0 and busy_w > 0:
+            return busy_w / measured
+        return fallback_w
+
+    def projected_power_w(self, fallback_marginal_w: float) -> float:
+        """Fleet power projected to sessions admitted since the last sample.
+
+        Fleet-level analogue of :meth:`ServerSnapshot.projected_power_w`:
+        without it, a burst arriving within one step would be evaluated
+        wholesale against a stale fleet-power reading.
+        """
+        marginal_w = self.marginal_session_power_w(fallback_marginal_w)
+        unmeasured = max(0, self.total_active_sessions - self.total_last_active_sessions)
+        return self.fleet_power_w + marginal_w * unmeasured

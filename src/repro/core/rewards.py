@@ -20,6 +20,8 @@ from __future__ import annotations
 import dataclasses
 import math
 
+import numpy as np
+
 from repro.constants import (
     DEFAULT_BANDWIDTH_MBPS,
     DEFAULT_POWER_CAP_W,
@@ -147,3 +149,51 @@ class RewardFunction:
     def total(self, observation: Observation) -> float:
         """Weighted total reward for an observation."""
         return self.breakdown(observation).total
+
+    # -- batch entry points -----------------------------------------------------
+
+    def total_batch(
+        self,
+        fps: np.ndarray,
+        psnr_db: np.ndarray,
+        bitrate_mbps: np.ndarray,
+        power_w: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`total` over parallel observation arrays.
+
+        The penalty branches and the FPS/bitrate/power terms match the scalar
+        path exactly; the in-range PSNR term goes through ``np.exp``, which
+        may differ from ``math.exp`` in the last ULP on some platforms, so
+        treat the result as equal to the scalar reward to ~1e-15 relative.
+        Used by fleet-level tooling (e.g. reward sweeps over recorded
+        traces); the per-agent Q updates stay per-session.
+        """
+        cfg = self.config
+        fps = np.asarray(fps)
+        psnr_db = np.asarray(psnr_db)
+        bitrate_mbps = np.asarray(bitrate_mbps)
+        power_w = np.asarray(power_w)
+
+        denom = fps - (cfg.fps_target - 1.0)
+        with np.errstate(divide="ignore"):
+            above = 1.0 / denom
+        fps_r = np.where(fps < cfg.fps_target, VIOLATION_PENALTY, above)
+
+        in_range = (psnr_db >= cfg.psnr_min_db) & (psnr_db <= cfg.psnr_max_db)
+        psnr_r = np.where(
+            in_range,
+            self._psnr_a * np.exp(psnr_db / cfg.psnr_max_db) - self._psnr_b,
+            VIOLATION_PENALTY,
+        )
+
+        bitrate_r = np.where(
+            bitrate_mbps > cfg.bandwidth_mbps, VIOLATION_PENALTY, 0.0
+        )
+        power_r = np.where(power_w >= cfg.power_cap_w, VIOLATION_PENALTY, 0.0)
+
+        return (
+            cfg.fps_weight * fps_r
+            + cfg.psnr_weight * psnr_r
+            + cfg.bitrate_weight * bitrate_r
+            + cfg.power_weight * power_r
+        )

@@ -14,6 +14,8 @@ import dataclasses
 import itertools
 from typing import Iterator
 
+import numpy as np
+
 from repro.constants import (
     BITRATE_STATE_BOUNDS_MBPS,
     DEFAULT_POWER_CAP_W,
@@ -86,6 +88,9 @@ class StateSpace:
         self.psnr_edges = tuple(float(e) for e in psnr_edges)
         self.bitrate_edges_mbps = tuple(float(e) for e in bitrate_edges_mbps)
         self.power_cap_w = float(power_cap_w)
+        self._fps_edge_array = np.array(self.fps_edges)
+        self._psnr_edge_array = np.array(self.psnr_edges)
+        self._bitrate_edge_array = np.array(self.bitrate_edges_mbps)
 
     # -- bin counts -------------------------------------------------------------
 
@@ -155,6 +160,42 @@ class StateSpace:
             psnr_bin=self.psnr_bin(observation.psnr_db),
             bitrate_bin=self.bitrate_bin(observation.bitrate_mbps),
             power_bin=self.power_bin(observation.power_w),
+        )
+
+    def discretize_batch(
+        self,
+        fps: np.ndarray,
+        psnr_db: np.ndarray,
+        bitrate_mbps: np.ndarray,
+        power_w: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`discretize` over parallel observation arrays.
+
+        Returns an ``(n, 4)`` int array whose columns are the ``fps``,
+        ``psnr``, ``bitrate`` and ``power`` bin indices;
+        ``SystemState(*row)`` reconstructs the discrete state of row ``i``.
+        Used by fleet-level tooling that bins thousands of observations per
+        step (the per-agent Q lookups stay per-session).
+        """
+        fps = np.asarray(fps)
+        fps_bins = np.where(
+            fps < self.fps_target,
+            0,
+            1 + np.searchsorted(self._fps_edge_array, fps, side="right"),
+        )
+        psnr_bins = np.searchsorted(self._psnr_edge_array, psnr_db, side="left")
+        bitrate_bins = np.searchsorted(
+            self._bitrate_edge_array, bitrate_mbps, side="left"
+        )
+        power_bins = (np.asarray(power_w) >= self.power_cap_w).astype(np.int64)
+        return np.stack(
+            [
+                np.asarray(fps_bins, dtype=np.int64),
+                psnr_bins.astype(np.int64),
+                bitrate_bins.astype(np.int64),
+                power_bins,
+            ],
+            axis=-1,
         )
 
     # -- enumeration ------------------------------------------------------------

@@ -22,6 +22,8 @@ from __future__ import annotations
 import dataclasses
 import math
 
+import numpy as np
+
 from repro.constants import CTU_SIZE
 from repro.errors import EncodingError
 
@@ -99,6 +101,53 @@ class WppModel:
         not consume full dynamic power.
         """
         return self.speedup(threads, width, height, wpp) / threads
+
+    # -- batch entry points -----------------------------------------------------
+
+    def speedup_batch(
+        self,
+        threads: np.ndarray,
+        width: np.ndarray,
+        height: np.ndarray,
+        wpp: np.ndarray | bool = True,
+    ) -> np.ndarray:
+        """Vectorized :meth:`speedup` over parallel arrays.
+
+        Elementwise bitwise-identical to the scalar method (the formula is
+        pure IEEE arithmetic, applied in the same order).
+        """
+        threads = np.asarray(threads, dtype=np.int64)
+        width = np.asarray(width)
+        height = np.asarray(height)
+        if threads.size and threads.min() < 1:
+            raise EncodingError("threads values must be >= 1")
+        if np.any(width <= 0) or np.any(height <= 0):
+            raise EncodingError("width and height values must be positive")
+
+        ctu = self.params.ctu_size
+        rows = np.ceil(height / ctu)
+        cols = np.ceil(width / ctu)
+        usable = np.minimum(threads, rows)
+
+        serial_units = rows * cols
+        parallel_units = (rows / usable) * cols + 2 * (usable - 1)
+        raw_speedup = serial_units / parallel_units
+
+        overhead = 1.0 + self.params.sync_overhead_per_thread * (threads - 1)
+        result = np.maximum(1.0, raw_speedup / overhead)
+        return np.where(np.logical_and(wpp, threads > 1), result, 1.0)
+
+    def efficiency_batch(
+        self,
+        threads: np.ndarray,
+        width: np.ndarray,
+        height: np.ndarray,
+        wpp: np.ndarray | bool = True,
+    ) -> np.ndarray:
+        """Vectorized :meth:`efficiency` over parallel arrays."""
+        return self.speedup_batch(threads, width, height, wpp) / np.asarray(
+            threads, dtype=np.int64
+        )
 
     def saturation_threads(
         self, width: int, height: int, gain_threshold: float = 0.03

@@ -182,14 +182,38 @@ class Orchestrator:
         self.meter.record(sample.power_w, sample.duration_s)
         return sample
 
-    def run(self, max_steps: Optional[int] = None) -> OrchestratorResult:
-        """Run until every playlist finishes (or ``max_steps`` is reached)."""
+    def run(
+        self, max_steps: Optional[int] = None, engine: str = "scalar"
+    ) -> OrchestratorResult:
+        """Run until every playlist finishes (or ``max_steps`` is reached).
+
+        ``engine="batch"`` evaluates each step's transcode math through the
+        vectorized :class:`~repro.cluster.batch.BatchStepper` (seed-for-seed
+        identical results; worthwhile for many-session experiments), while
+        the default ``"scalar"`` engine steps session by session.
+        """
+        if engine not in ("batch", "scalar"):
+            raise ScenarioError(
+                f"engine must be 'batch' or 'scalar', got {engine!r}"
+            )
+        stepper = None
+        if engine == "batch":
+            # Deferred import: repro.cluster.batch imports this module.
+            from repro.cluster.batch import BatchStepper
+
+            stepper = BatchStepper([self])
+
         power_samples: list[PowerSample] = []
         step = 0
         while max_steps is None or step < max_steps:
-            sample = self.run_step(step)
-            if sample is None:
-                break
+            if stepper is not None:
+                if not self.active_sessions():
+                    break
+                sample = stepper.step(step)[0]
+            else:
+                sample = self.run_step(step)
+                if sample is None:
+                    break
             power_samples.append(sample)
             step += 1
 

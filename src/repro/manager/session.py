@@ -8,6 +8,14 @@ The orchestrator drives sessions with a two-phase protocol per step:
 2. :meth:`TranscodingSession.execute` transcodes the frame under the granted
    contention scale and server power, records the measurements, and advances
    to the next frame (or the next video of the playlist).
+
+The batch stepping engine (:mod:`repro.cluster.batch`) uses a parallel pair
+of hooks instead: :meth:`TranscodingSession.peek_decision` runs only the
+controller (the per-session half of ``prepare``; the transcode math is
+evaluated fleet-wide in one NumPy batch), and
+:meth:`TranscodingSession.commit_step_result` applies the externally
+computed measurements with exactly the bookkeeping ``execute`` performs.
+The two protocols cannot be interleaved within one step.
 """
 
 from __future__ import annotations
@@ -74,7 +82,7 @@ class TranscodingSession:
         self._video_index = 0
         self._frame_index = 0
         self._step = 0
-        self._pending: Optional[tuple[Decision, EncoderConfig]] = None
+        self._pending: Optional[tuple[Decision, Optional[EncoderConfig]]] = None
 
     # -- identity / progress --------------------------------------------------------
 
@@ -99,6 +107,16 @@ class TranscodingSession:
     def step(self) -> int:
         """Number of frames transcoded so far (across the whole playlist)."""
         return self._step
+
+    @property
+    def video_index(self) -> int:
+        """Index of the current video within the playlist."""
+        return self._video_index
+
+    @property
+    def frame_index(self) -> int:
+        """Index of the next frame within the current video."""
+        return self._frame_index
 
     @property
     def total_frames(self) -> int:
@@ -143,11 +161,55 @@ class TranscodingSession:
             activity=activity,
         )
 
+    def peek_decision(self) -> Decision:
+        """Batch-engine half of :meth:`prepare`: run only the controller.
+
+        The resource demand and the transcode math are evaluated fleet-wide
+        by the batch stepper; this method just advances the controller (so
+        its exploration randomness and Q updates happen in exactly the same
+        order as under :meth:`prepare`) and records the pending decision.
+        Must be followed by exactly one :meth:`commit_step_result` call.
+        """
+        if not self.active:
+            raise ScenarioError(f"session {self.session_id!r} has finished")
+        if self._pending is not None:
+            raise ScenarioError("peek_decision() called twice without commit")
+
+        decision = self.controller.decide(self._step, self.last_observation)
+        self._pending = (decision, None)
+        return decision
+
+    def commit_step_result(
+        self, record: FrameRecord, observation: Observation
+    ) -> None:
+        """Batch-engine half of :meth:`execute`: apply precomputed results.
+
+        Performs the same bookkeeping as :meth:`execute` — records the frame,
+        updates the controller's observation, advances the playlist.  The
+        record and observation are built by the batch stepper from the
+        fleet-wide evaluation (their fields match what :meth:`execute` would
+        have produced; the equivalence tests enforce this).
+        """
+        if self._pending is None or self._pending[1] is not None:
+            raise ScenarioError(
+                "commit_step_result() called without a preceding peek_decision()"
+            )
+        self._pending = None
+        self.records.append(record)
+        self.last_observation = observation
+        self._step += 1
+        self._advance_frame()
+
     def execute(self, contention_scale: float, server_power_w: float) -> FrameRecord:
         """Transcode the prepared frame under the server's allocation."""
         if self._pending is None:
             raise ScenarioError("execute() called without a preceding prepare()")
         decision, config = self._pending
+        if config is None:
+            raise ScenarioError(
+                "execute() called after peek_decision(); finish the step with "
+                "commit_step_result() instead"
+            )
         self._pending = None
 
         video = self.current_video

@@ -12,10 +12,26 @@ from repro.video.sequence import ResolutionClass
 __all__ = [
     "SessionSummary",
     "ExperimentSummary",
+    "power_trace_stats",
     "summarize_session",
     "summarize_experiment",
     "empty_experiment_summary",
 ]
+
+
+def power_trace_stats(
+    power_samples: Sequence[PowerSample],
+) -> tuple[float, float, float]:
+    """``(energy_j, duration_s, mean_power_w)`` of a power trace.
+
+    The single place the idle-run power math lives: energy is the
+    duration-weighted sum of the samples, the mean power is energy over
+    total duration (0 for an empty trace).
+    """
+    total_time = sum(sample.duration_s for sample in power_samples)
+    energy = sum(sample.power_w * sample.duration_s for sample in power_samples)
+    mean_power = energy / total_time if total_time > 0 else 0.0
+    return energy, total_time, mean_power
 
 
 @dataclasses.dataclass(frozen=True)
@@ -125,11 +141,10 @@ def empty_experiment_summary(
     use this constructor instead.  Power statistics still reflect any idle
     samples recorded.
     """
-    total_time = sum(sample.duration_s for sample in power_samples)
-    energy = sum(sample.power_w * sample.duration_s for sample in power_samples)
+    energy, total_time, mean_power = power_trace_stats(power_samples)
     return ExperimentSummary(
         sessions={},
-        mean_power_w=energy / total_time if total_time > 0 else 0.0,
+        mean_power_w=mean_power,
         energy_j=energy,
         duration_s=total_time,
         mean_fps=0.0,
@@ -154,9 +169,7 @@ def summarize_experiment(
     all_records = [r for records in records_by_session.values() for r in records]
     n = len(all_records)
 
-    total_time = sum(sample.duration_s for sample in power_samples)
-    energy = sum(sample.power_w * sample.duration_s for sample in power_samples)
-    mean_power = energy / total_time if total_time > 0 else 0.0
+    energy, total_time, mean_power = power_trace_stats(power_samples)
 
     return ExperimentSummary(
         sessions=sessions,

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.errors import PlatformError
 
 __all__ = ["VoltageTable", "PowerModelParameters", "PowerModel"]
@@ -67,6 +69,8 @@ class VoltageTable:
             raise PlatformError("voltage must be strictly increasing with frequency")
         self._freqs = freqs
         self._volts = volts
+        self._freq_array = np.array(freqs)
+        self._volt_array = np.array(volts)
 
     @property
     def max_frequency_ghz(self) -> float:
@@ -99,11 +103,40 @@ class VoltageTable:
 
     def relative_dynamic(self, frequency_ghz: float) -> float:
         """Dynamic-power scale ``(V/Vmax)² · (f/fmax)`` for a frequency."""
-        return (
-            self.relative_voltage(frequency_ghz) ** 2
-            * frequency_ghz
-            / self.max_frequency_ghz
-        )
+        # The square is an explicit multiply (not ``** 2``) so the scalar and
+        # vectorized paths round identically on every platform.
+        v_rel = self.relative_voltage(frequency_ghz)
+        return v_rel * v_rel * frequency_ghz / self.max_frequency_ghz
+
+    # -- batch entry points -----------------------------------------------------
+
+    def voltage_batch(self, frequency_ghz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`voltage` over an array of frequencies.
+
+        Elementwise bitwise-identical to the scalar method: the same pair of
+        operating points is selected and the same interpolation expression is
+        applied in the same order.
+        """
+        f = np.asarray(frequency_ghz, dtype=float)
+        if np.any(f <= 0):
+            raise PlatformError("frequencies must be positive")
+        freqs, volts = self._freq_array, self._volt_array
+        idx = np.clip(np.searchsorted(freqs, f, side="left"), 1, len(freqs) - 1)
+        f0, f1 = freqs[idx - 1], freqs[idx]
+        v0, v1 = volts[idx - 1], volts[idx]
+        t = (f - f0) / (f1 - f0)
+        v = v0 + t * (v1 - v0)
+        v = np.where(f <= freqs[0], volts[0], v)
+        return np.where(f >= freqs[-1], volts[-1], v)
+
+    def relative_voltage_batch(self, frequency_ghz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`relative_voltage`."""
+        return self.voltage_batch(frequency_ghz) / self.max_voltage
+
+    def relative_dynamic_batch(self, frequency_ghz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`relative_dynamic`."""
+        v_rel = self.relative_voltage_batch(frequency_ghz)
+        return v_rel * v_rel * np.asarray(frequency_ghz) / self.max_frequency_ghz
 
 
 @dataclasses.dataclass(frozen=True)
@@ -188,6 +221,42 @@ class PowerModel:
         v_rel = self.voltage_table.relative_voltage(frequency_ghz)
         dyn_rel = self.voltage_table.relative_dynamic(frequency_ghz)
         return p.core_leakage_w * v_rel + p.idle_activity_fraction * p.core_dynamic_w * dyn_rel
+
+    # -- batch entry points -----------------------------------------------------
+
+    def busy_core_power_batch(
+        self,
+        frequency_ghz: np.ndarray,
+        activity: np.ndarray,
+        smt_threads: np.ndarray | int = 1,
+    ) -> np.ndarray:
+        """Vectorized :meth:`busy_core_power` over parallel arrays.
+
+        Elementwise bitwise-identical to the scalar method.
+        """
+        activity = np.asarray(activity)
+        smt_threads = np.asarray(smt_threads, dtype=np.int64)
+        if activity.size and (activity.min() < 0.0 or activity.max() > 1.0):
+            raise PlatformError("activity values must be in [0, 1]")
+        if smt_threads.size and smt_threads.min() < 1:
+            raise PlatformError("smt_threads values must be >= 1")
+        p = self.params
+        v_rel = self.voltage_table.relative_voltage_batch(frequency_ghz)
+        dyn_rel = self.voltage_table.relative_dynamic_batch(frequency_ghz)
+        smt_factor = 1.0 + p.smt_activity_bonus * (np.minimum(smt_threads, 2) - 1)
+        leakage = p.core_leakage_w * v_rel
+        dynamic = p.core_dynamic_w * smt_factor * dyn_rel * activity
+        return leakage + dynamic
+
+    def idle_core_power_batch(self, frequency_ghz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`idle_core_power` over an array of frequencies."""
+        p = self.params
+        v_rel = self.voltage_table.relative_voltage_batch(frequency_ghz)
+        dyn_rel = self.voltage_table.relative_dynamic_batch(frequency_ghz)
+        return (
+            p.core_leakage_w * v_rel
+            + p.idle_activity_fraction * p.core_dynamic_w * dyn_rel
+        )
 
     def package_power(
         self,

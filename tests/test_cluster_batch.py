@@ -1,0 +1,208 @@
+"""Scalar/batch engine equivalence for the cluster stepping hot path.
+
+The batch engine's contract is *bitwise* seed-for-seed equivalence: the same
+``(workload seed, policies, cluster seed)`` must produce identical frame
+records, power traces, admission ledgers and summaries on both engines.
+These tests compare complete :class:`~repro.cluster.cluster.ClusterResult`
+objects with plain ``==`` (dataclass equality → exact float equality).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AlwaysAdmit,
+    BatchStepper,
+    CapacityThreshold,
+    ClusterOrchestrator,
+    PoissonTraffic,
+    PowerHeadroom,
+    RoundRobin,
+    WorkloadGenerator,
+)
+from repro.cluster.dispatch import PowerAware
+from repro.errors import ClusterError, ScenarioError
+from repro.manager.factories import (
+    heuristic_factory,
+    mamut_factory,
+    monoagent_factory,
+    static_factory,
+)
+from repro.manager.orchestrator import Orchestrator
+from repro.manager.session import TranscodingSession
+from repro.platform.server import MulticoreServer
+from repro.platform.topology import CpuTopology
+from repro.video.catalog import random_sequence
+from repro.video.request import TranscodingRequest
+from repro.video.sequence import ResolutionClass
+
+
+def run_cluster(engine, *, seed=3, servers=3, rate=1.0, duration=30,
+                admission=None, dispatcher=None, controller_factory=None,
+                server_factory=MulticoreServer, drain=True,
+                max_drain_steps=None, **workload_kwargs):
+    workload = WorkloadGenerator(
+        PoissonTraffic(rate), seed=seed, frames_per_video=10, **workload_kwargs
+    )
+    cluster = ClusterOrchestrator(
+        servers,
+        workload,
+        admission=admission,
+        dispatcher=dispatcher,
+        controller_factory=controller_factory,
+        server_factory=server_factory,
+        seed=seed,
+        engine=engine,
+    )
+    return cluster.run(duration, drain=drain, max_drain_steps=max_drain_steps)
+
+
+def assert_identical(a, b):
+    assert a.records_by_server == b.records_by_server
+    assert a.samples_by_server == b.samples_by_server
+    assert (a.arrivals, a.admitted, a.rejected, a.abandoned) == (
+        b.arrivals,
+        b.admitted,
+        b.rejected,
+        b.abandoned,
+    )
+    assert a.queue_waits == b.queue_waits
+    assert a.steps == b.steps
+    assert a.summary() == b.summary()
+
+
+class TestEngineEquivalence:
+    # Policies are stateful (e.g. RoundRobin's cursor), so every comparison
+    # builds fresh keyword arguments per run.
+
+    def test_static_controllers_default_policies(self):
+        kwargs = lambda: dict(
+            controller_factory=static_factory(qp=32, threads=4, frequency_ghz=3.2)
+        )
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_mamut_controllers_default_policies(self):
+        assert_identical(run_cluster("scalar"), run_cluster("batch"))
+
+    def test_mamut_power_headroom_power_aware(self):
+        kwargs = lambda: dict(
+            admission=PowerHeadroom(), dispatcher=PowerAware(), rate=1.5
+        )
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_chip_wide_heuristic_controllers(self):
+        kwargs = lambda: dict(
+            controller_factory=heuristic_factory(),
+            admission=AlwaysAdmit(),
+            dispatcher=RoundRobin(),
+            rate=0.8,
+        )
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_monoagent_controllers(self):
+        kwargs = lambda: dict(controller_factory=monoagent_factory(), rate=0.7)
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_multi_video_playlists(self):
+        kwargs = lambda: dict(playlist_videos=3, duration=40)
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_heterogeneous_topologies(self):
+        def small_server():
+            return MulticoreServer(
+                topology=CpuTopology(sockets=1, cores_per_socket=4)
+            )
+
+        kwargs = lambda: dict(
+            server_factory=small_server,
+            controller_factory=static_factory(qp=32, threads=6, frequency_ghz=2.9),
+            rate=1.5,
+        )
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_bounded_drain_overload(self):
+        kwargs = lambda: dict(
+            admission=AlwaysAdmit(),
+            dispatcher=RoundRobin(),
+            rate=2.0,
+            drain=True,
+            max_drain_steps=5,
+        )
+        assert_identical(run_cluster("scalar", **kwargs()), run_cluster("batch", **kwargs()))
+
+    def test_batch_engine_is_deterministic(self):
+        assert_identical(run_cluster("batch", seed=11), run_cluster("batch", seed=11))
+
+    def test_unknown_engine_rejected(self):
+        workload = WorkloadGenerator(PoissonTraffic(0.5), seed=0)
+        with pytest.raises(ClusterError):
+            ClusterOrchestrator(1, workload, engine="turbo")
+
+
+class TestOrchestratorBatchRun:
+    def make_sessions(self, count=4, frames=12):
+        sessions = []
+        for i in range(count):
+            resolution = ResolutionClass.HR if i % 2 == 0 else ResolutionClass.LR
+            sequence = random_sequence(resolution, rng=i, num_frames=frames)
+            request = TranscodingRequest(user_id=f"user-{i}", sequence=sequence)
+            controller = mamut_factory()(request, seed=i)
+            sessions.append(TranscodingSession(request=request, controller=controller))
+        return sessions
+
+    def test_run_batch_equals_scalar(self):
+        scalar = Orchestrator(self.make_sessions()).run()
+        batch = Orchestrator(self.make_sessions()).run(engine="batch")
+        assert scalar.records_by_session == batch.records_by_session
+        assert list(scalar.power_samples) == list(batch.power_samples)
+        assert scalar.steps == batch.steps
+        assert scalar.summary() == batch.summary()
+
+    def test_run_rejects_unknown_engine(self):
+        with pytest.raises(ScenarioError):
+            Orchestrator(self.make_sessions(1)).run(engine="vector")
+
+
+class TestBatchStepperProtocol:
+    def test_idle_fleet_emits_idle_samples(self):
+        orchestrators = [Orchestrator(), Orchestrator()]
+        stepper = BatchStepper(orchestrators)
+        samples = stepper.step(0)
+        reference = Orchestrator().idle_step(0)
+        assert [s.power_w for s in samples] == [reference.power_w] * 2
+        assert all(s.active_sessions == 0 for s in samples)
+        assert all(s.duration_s == reference.duration_s for s in samples)
+
+    def test_commit_requires_peek(self):
+        sessions = TestOrchestratorBatchRun().make_sessions(1)
+        with pytest.raises(ScenarioError):
+            sessions[0].commit_step_result(None, None)
+
+    def test_execute_after_peek_rejected(self):
+        session = TestOrchestratorBatchRun().make_sessions(1)[0]
+        session.peek_decision()
+        with pytest.raises(ScenarioError):
+            session.execute(1.0, 100.0)
+
+    def test_out_of_range_qp_rejected_like_scalar(self):
+        from repro.core.controller import Controller, Decision
+        from repro.errors import EncodingError
+
+        class BadQp(Controller):
+            def decide(self, frame_index, observation):
+                return Decision(qp=60, threads=4, frequency_ghz=3.2)
+
+        for engine in ("scalar", "batch"):
+            workload = WorkloadGenerator(
+                PoissonTraffic(1.0), seed=0, frames_per_video=5
+            )
+            cluster = ClusterOrchestrator(
+                1,
+                workload,
+                controller_factory=lambda request, seed: BadQp(),
+                seed=0,
+                engine=engine,
+            )
+            with pytest.raises(EncodingError):
+                cluster.run(10)
