@@ -1,0 +1,248 @@
+"""Elastic vs. fixed fleets on diurnal and flash-crowd traffic.
+
+Not a paper figure — this is the capacity-planning experiment the
+autoscaling subsystem exists for.  Each scenario is served from identical
+seeds by four fleets:
+
+* ``fixed-mean`` — a static fleet sized for the mean arrival rate (what a
+  cost-minimising planner would buy);
+* ``fixed-peak`` — a static fleet sized for the peak rate (what an
+  availability-minimising planner would buy);
+* ``reactive`` — :class:`~repro.cluster.autoscale.ReactiveThreshold`
+  growing/shrinking between the two from queue + utilization signals;
+* ``predictive`` — :class:`~repro.cluster.autoscale.PredictiveScaling`
+  provisioning for an EWMA forecast of the arrival rate.
+
+The headline claim (pinned by ``tests/test_cluster_autoscale.py``): on the
+flash-crowd scenario the reactive fleet serves the burst with strictly
+fewer abandoned requests than ``fixed-mean`` *and* a lower time-weighted
+fleet size than ``fixed-peak``.
+
+Results are written to ``BENCH_autoscale.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_autoscale.py          # full
+    PYTHONPATH=src python benchmarks/bench_autoscale.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+from pathlib import Path
+
+from repro.cluster import (
+    CapacityThreshold,
+    ClusterOrchestrator,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    PredictiveScaling,
+    ReactiveThreshold,
+    WorkloadGenerator,
+)
+from repro.manager.factories import static_factory
+from repro.metrics.report import format_table
+
+SESSIONS_PER_SERVER = 4
+MAX_QUEUE = 24
+SEED = 0
+
+
+def _servers_for_rate(rate: float, frames_per_video: int) -> int:
+    """Little's law: servers needed to hold ``rate`` arrivals per step."""
+    return max(1, math.ceil(rate * frames_per_video / SESSIONS_PER_SERVER))
+
+
+def _scenarios(smoke: bool) -> dict[str, dict]:
+    if smoke:
+        return {
+            "flash": {
+                "traffic": lambda: FlashCrowdTraffic(
+                    0.3, peak_multiplier=4.0, start=20, duration=15
+                ),
+                "duration": 50,
+                "frames_per_video": 12,
+                "base_rate": 0.3,
+                "peak_rate": 1.2,
+            },
+        }
+    return {
+        "flash": {
+            "traffic": lambda: FlashCrowdTraffic(
+                0.4, peak_multiplier=5.0, start=130, duration=50
+            ),
+            "duration": 200,
+            "frames_per_video": 32,
+            "base_rate": 0.4,
+            "peak_rate": 2.0,
+        },
+        "diurnal": {
+            "traffic": lambda: DiurnalTraffic(
+                0.8, amplitude=0.9, period=100
+            ),
+            "duration": 200,
+            "frames_per_video": 32,
+            "base_rate": 0.8,
+            "peak_rate": 0.8 * 1.9,
+        },
+    }
+
+
+def _run_fleet(scenario: dict, servers: int, max_servers: int, autoscaler) -> dict:
+    workload = WorkloadGenerator(
+        scenario["traffic"](),
+        seed=SEED,
+        frames_per_video=scenario["frames_per_video"],
+    )
+    cluster = ClusterOrchestrator(
+        servers,
+        workload,
+        admission=CapacityThreshold(
+            max_sessions_per_server=SESSIONS_PER_SERVER, max_queue=MAX_QUEUE
+        ),
+        controller_factory=static_factory(qp=32, threads=4, frequency_ghz=3.2),
+        seed=SEED,
+        autoscaler=autoscaler,
+        min_servers=1,
+        max_servers=max_servers,
+        provision_warmup_steps=3,
+    )
+    summary = cluster.run(scenario["duration"]).summary()
+    return {
+        "arrivals": summary.arrivals,
+        "admitted": summary.admitted,
+        "rejected": summary.rejected,
+        "abandoned": summary.abandoned,
+        "mean_fleet_size": summary.mean_fleet_size,
+        "peak_fleet_size": summary.peak_fleet_size,
+        "scale_up_events": summary.scale_up_events,
+        "scale_down_events": summary.scale_down_events,
+        "fleet_energy_kj": summary.fleet_energy_j / 1000.0,
+        "qos_violation_pct": summary.qos_violation_pct,
+        "transient_qos_violation_pct": summary.transient_qos_violation_pct,
+    }
+
+
+def run_benchmark(smoke: bool) -> dict:
+    scenarios = _scenarios(smoke)
+    payload: dict = {
+        "benchmark": "autoscale",
+        "sessions_per_server": SESSIONS_PER_SERVER,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": {},
+    }
+    for name, scenario in scenarios.items():
+        frames = scenario["frames_per_video"]
+        mean_servers = _servers_for_rate(scenario["base_rate"], frames)
+        peak_servers = _servers_for_rate(scenario["peak_rate"], frames)
+        fleets = {
+            "fixed-mean": (mean_servers, mean_servers, None),
+            "fixed-peak": (peak_servers, peak_servers, None),
+            "reactive": (
+                mean_servers,
+                peak_servers,
+                ReactiveThreshold(sessions_per_server=SESSIONS_PER_SERVER),
+            ),
+            "predictive": (
+                mean_servers,
+                peak_servers,
+                PredictiveScaling(
+                    sessions_per_server=SESSIONS_PER_SERVER,
+                    service_steps=frames,
+                ),
+            ),
+        }
+        results = {
+            label: _run_fleet(scenario, servers, max_servers, autoscaler)
+            for label, (servers, max_servers, autoscaler) in fleets.items()
+        }
+        payload["scenarios"][name] = {
+            "mean_servers": mean_servers,
+            "peak_servers": peak_servers,
+            "duration": scenario["duration"],
+            "fleets": results,
+        }
+
+        print(f"\n=== {name} (mean fleet {mean_servers}, peak fleet {peak_servers}) ===")
+        print(
+            format_table(
+                [
+                    "fleet",
+                    "abandoned",
+                    "rejected",
+                    "mean size",
+                    "peak",
+                    "energy (kJ)",
+                    "Δ (%)",
+                ],
+                [
+                    [
+                        label,
+                        r["abandoned"],
+                        r["rejected"],
+                        r["mean_fleet_size"],
+                        r["peak_fleet_size"],
+                        r["fleet_energy_kj"],
+                        r["qos_violation_pct"],
+                    ]
+                    for label, r in results.items()
+                ],
+                float_format="{:.2f}",
+            )
+        )
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one tiny scenario: a fast CI canary for the autoscaling path",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_autoscale.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+
+    payload = run_benchmark(args.smoke)
+
+    flash = payload["scenarios"]["flash"]["fleets"]
+    if args.smoke:
+        # Rot canary: the elastic fleet actually scaled and outserved the
+        # mean-sized fixed fleet on the burst.
+        assert flash["reactive"]["scale_up_events"] > 0
+        assert (
+            flash["reactive"]["abandoned"] + flash["reactive"]["rejected"]
+            <= flash["fixed-mean"]["abandoned"] + flash["fixed-mean"]["rejected"]
+        )
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nsmoke ok, wrote {args.output}")
+        return
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # The acceptance claim (also pinned by tests/test_cluster_autoscale.py).
+    assert flash["reactive"]["abandoned"] < flash["fixed-mean"]["abandoned"], (
+        "reactive autoscaling should abandon strictly fewer requests than "
+        "the mean-sized fixed fleet on the flash crowd"
+    )
+    assert (
+        flash["reactive"]["mean_fleet_size"]
+        < flash["fixed-peak"]["mean_fleet_size"]
+    ), (
+        "reactive autoscaling should hold a lower time-weighted fleet size "
+        "than the peak-sized fixed fleet"
+    )
+    print("flash-crowd acceptance claims hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ Provides quick access to the main experiments without writing Python::
     repro-mamut table1
     repro-mamut table2 --mixes 1x1,2x2,3x3
     repro-mamut cluster --servers 4 --arrival-rate 2.0 --duration 500
+    repro-mamut cluster --traffic flash --autoscale reactive --max-servers 12
 
 (Equivalently: ``python -m repro.cli <command> ...``.)
 """
@@ -30,7 +31,10 @@ from repro.cluster import (
     PoissonTraffic,
     PowerAware,
     PowerHeadroom,
+    PredictiveScaling,
+    ReactiveThreshold,
     RoundRobin,
+    TargetTracking,
     WorkloadGenerator,
 )
 from repro.analysis.tables import (
@@ -136,6 +140,27 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--hr-fraction", type=float, default=0.5)
     cluster.add_argument("--frames-per-video", type=int, default=72)
     cluster.add_argument("--playlist-videos", type=int, default=1)
+    cluster.add_argument(
+        "--autoscale",
+        choices=("none", "reactive", "target-tracking", "predictive"),
+        default="none",
+        help="elastic fleet policy (--servers becomes the initial size)",
+    )
+    cluster.add_argument(
+        "--min-servers", type=int, default=1, help="autoscaling floor"
+    )
+    cluster.add_argument(
+        "--max-servers",
+        type=int,
+        default=None,
+        help="autoscaling ceiling (default: 4x --servers)",
+    )
+    cluster.add_argument(
+        "--warmup-steps",
+        type=int,
+        default=3,
+        help="provisioning delay before a commissioned server takes sessions",
+    )
     cluster.add_argument(
         "--no-drain",
         action="store_true",
@@ -299,6 +324,19 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         playlist_videos=args.playlist_videos,
         frames_per_video=args.frames_per_video,
     )
+    autoscaler = None
+    if args.autoscale != "none":
+        service_steps = args.frames_per_video * args.playlist_videos
+        autoscaler = {
+            "reactive": lambda: ReactiveThreshold(
+                sessions_per_server=args.max_sessions_per_server
+            ),
+            "target-tracking": lambda: TargetTracking(),
+            "predictive": lambda: PredictiveScaling(
+                sessions_per_server=args.max_sessions_per_server,
+                service_steps=service_steps,
+            ),
+        }[args.autoscale]()
     cluster = ClusterOrchestrator(
         args.servers,
         workload,
@@ -307,35 +345,51 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         power_cap_w=args.power_cap,
         seed=args.seed,
         engine=args.engine,
+        autoscaler=autoscaler,
+        min_servers=args.min_servers,
+        max_servers=args.max_servers,
+        provision_warmup_steps=args.warmup_steps,
     )
     summary = cluster.run(args.duration, drain=not args.no_drain).summary()
 
+    fleet_label = (
+        f"{args.servers} servers"
+        if autoscaler is None
+        else f"{args.servers} servers ({args.autoscale} autoscaling)"
+    )
     print(
-        f"ClusterSummary: {args.servers} servers, {args.traffic} traffic "
+        f"ClusterSummary: {fleet_label}, {args.traffic} traffic "
         f"@ {args.arrival_rate}/step, {args.admission} admission, "
         f"{args.dispatch} dispatch"
     )
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["steps (incl. drain)", summary.steps],
-                ["arrivals", summary.arrivals],
-                ["admitted sessions", summary.admitted],
-                ["rejected", summary.rejected],
-                ["abandoned in queue", summary.abandoned],
-                ["rejection rate (%)", 100.0 * summary.rejection_rate],
-                ["mean queue wait (steps)", summary.mean_queue_wait_steps],
-                ["mean active sessions", summary.mean_active_sessions],
-                ["fleet power (W)", summary.fleet_mean_power_w],
-                ["fleet energy (kJ)", summary.fleet_energy_j / 1000.0],
-                ["watts per session", summary.watts_per_session],
-                ["mean FPS", summary.mean_fps],
-                ["QoS violations (Δ, %)", summary.qos_violation_pct],
-            ],
-            float_format="{:.2f}",
-        )
-    )
+    rows = [
+        ["steps (incl. drain)", summary.steps],
+        ["arrivals", summary.arrivals],
+        ["admitted sessions", summary.admitted],
+        ["rejected", summary.rejected],
+        ["abandoned in queue", summary.abandoned],
+        ["rejection rate (%)", 100.0 * summary.rejection_rate],
+        ["mean queue wait (steps)", summary.mean_queue_wait_steps],
+        ["mean active sessions", summary.mean_active_sessions],
+        ["fleet power (W)", summary.fleet_mean_power_w],
+        ["fleet energy (kJ)", summary.fleet_energy_j / 1000.0],
+        ["watts per session", summary.watts_per_session],
+        ["mean FPS", summary.mean_fps],
+        ["QoS violations (Δ, %)", summary.qos_violation_pct],
+    ]
+    if autoscaler is not None:
+        rows += [
+            ["mean fleet size", summary.mean_fleet_size],
+            ["peak fleet size", summary.peak_fleet_size],
+            ["scale-up events", summary.scale_up_events],
+            ["scale-down events", summary.scale_down_events],
+            ["servers added / removed",
+             f"{summary.servers_added} / {summary.servers_removed}"],
+            ["scaling-transient steps", summary.transient_steps],
+            ["transient queue length", summary.transient_mean_queue_length],
+            ["transient QoS (Δ, %)", summary.transient_qos_violation_pct],
+        ]
+    print(format_table(["metric", "value"], rows, float_format="{:.2f}"))
     print()
     print(
         format_table(

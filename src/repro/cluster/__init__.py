@@ -9,7 +9,11 @@ request is admitted, queued or rejected, a
 :class:`~repro.cluster.dispatch.DispatchPolicy` load-balances admitted
 requests across servers, and the
 :class:`~repro.cluster.cluster.ClusterOrchestrator` drives the per-server
-orchestrators step-wise with sessions joining and leaving mid-run.
+orchestrators step-wise with sessions joining and leaving mid-run.  An
+optional :class:`~repro.cluster.autoscale.AutoscalePolicy` makes the fleet
+itself elastic: servers are commissioned (with a provisioning warm-up) and
+decommissioned (drain-before-retire) at run time from the same snapshot
+signals admission and dispatch see.
 """
 
 from repro.cluster.admission import (
@@ -18,6 +22,15 @@ from repro.cluster.admission import (
     AlwaysAdmit,
     CapacityThreshold,
     PowerHeadroom,
+)
+from repro.cluster.autoscale import (
+    AutoscaleDecision,
+    AutoscalePolicy,
+    AutoscaleSignals,
+    FixedFleet,
+    PredictiveScaling,
+    ReactiveThreshold,
+    TargetTracking,
 )
 from repro.cluster.batch import BatchStepper
 from repro.cluster.cluster import ClusterOrchestrator, ClusterResult
@@ -48,6 +61,14 @@ __all__ = [
     "AlwaysAdmit",
     "CapacityThreshold",
     "PowerHeadroom",
+    # autoscaling
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "AutoscaleSignals",
+    "FixedFleet",
+    "PredictiveScaling",
+    "ReactiveThreshold",
+    "TargetTracking",
     # dispatch
     "DispatchPolicy",
     "RoundRobin",

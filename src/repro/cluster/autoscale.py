@@ -1,0 +1,476 @@
+"""Autoscaling: grow and shrink the fleet at run time from cluster signals.
+
+The paper keeps QoS under a power cap on a *fixed* server; a production
+service additionally rightsizes the fleet itself as traffic moves.  An
+:class:`AutoscalePolicy` is consulted once per cluster step with an
+:class:`AutoscaleSignals` bundle — the scheduling
+:class:`~repro.cluster.state.ClusterSnapshot` plus the arrivals observed this
+step and the provisioning pipeline state — and answers the fleet size it
+wants *provisioned* (dispatchable plus still-warming servers).  The
+:class:`~repro.cluster.cluster.ClusterOrchestrator` clamps the answer to its
+``[min_servers, max_servers]`` band and executes it:
+
+* growing commissions fresh servers that idle through a provisioning
+  warm-up delay (drawing idle power, serving nothing) before joining the
+  dispatchable fleet;
+* shrinking first cancels still-warming servers, then marks dispatchable
+  servers as *draining* — they take no new sessions, finish the ones they
+  have, and are decommissioned only once empty.  Active sessions are never
+  killed.
+
+Four policies ship:
+
+* :class:`FixedFleet` — the no-op baseline (the pre-autoscaling behavior);
+* :class:`ReactiveThreshold` — threshold-with-hysteresis on queue length and
+  session-slot utilization: distinct scale-up/scale-down thresholds, queue
+  backlog sized into the scale-up amount, warming servers subtracted so a
+  burst is not over-provisioned, and a cooldown before scale-downs so a
+  noisy trace does not flap the fleet;
+* :class:`TargetTracking` — holds the fleet's projected power at a target
+  fraction of its budget, the cluster-level analogue of the paper's
+  per-server power cap;
+* :class:`PredictiveScaling` — forecasts the arrival rate with an EWMA over
+  the observed workload trace and provisions capacity for the forecast via
+  Little's law ahead of the queue actually building.
+
+Policies are deterministic and, like dispatch policies, may carry state
+(cooldowns, the EWMA) — build a fresh instance per run for reproducible
+traces.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+
+from repro.errors import ClusterError
+from repro.cluster.state import ClusterSnapshot
+
+__all__ = [
+    "AutoscaleSignals",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "FixedFleet",
+    "ReactiveThreshold",
+    "TargetTracking",
+    "PredictiveScaling",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscaleSignals:
+    """Everything an autoscaling policy may observe for one decision.
+
+    Attributes
+    ----------
+    step:
+        Cluster step the decision is taken at.
+    snapshot:
+        Scheduling snapshot over the *dispatchable* servers (warming and
+        draining servers are excluded, exactly as admission/dispatch see it).
+    arrivals:
+        Requests that arrived during this step — the signal the predictive
+        policy forecasts from.
+    provisioned_servers:
+        Dispatchable plus warming servers — the quantity policies target.
+    warming_servers:
+        Commissioned servers still inside their provisioning warm-up.
+    draining_servers:
+        Servers finishing their sessions before decommission.
+    min_servers, max_servers:
+        The orchestrator's clamping band.  Policies use it to tell a real
+        resize from a clamped no-op (e.g. asking to grow past
+        ``max_servers``), so cooldowns count from resizes that actually
+        happened.
+    """
+
+    step: int
+    snapshot: ClusterSnapshot
+    arrivals: int
+    provisioned_servers: int
+    warming_servers: int
+    draining_servers: int
+    min_servers: int = 1
+    max_servers: int | None = None
+
+    def clamp(self, target_servers: int) -> int:
+        """``target_servers`` after the orchestrator's band is applied."""
+        target = max(target_servers, self.min_servers)
+        if self.max_servers is not None:
+            target = min(target, self.max_servers)
+        return target
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting in the admission queue."""
+        return self.snapshot.queue_length
+
+    @property
+    def dispatchable_servers(self) -> int:
+        """Servers currently accepting new sessions."""
+        return self.snapshot.num_servers
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscaleDecision:
+    """A policy's answer: the fleet size it wants provisioned, and why.
+
+    ``target_servers`` counts dispatchable plus warming servers; the
+    orchestrator clamps it to its ``[min_servers, max_servers]`` band before
+    executing.  ``reason`` is carried verbatim into the
+    :class:`~repro.metrics.records.ScalingEvent` record when the decision
+    resizes the fleet.
+    """
+
+    target_servers: int
+    reason: str = ""
+
+
+class AutoscalePolicy(abc.ABC):
+    """Pluggable fleet-sizing rule consulted once per cluster step."""
+
+    @abc.abstractmethod
+    def decide(self, signals: AutoscaleSignals) -> AutoscaleDecision:
+        """Desired provisioned fleet size given the current signals."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name (defaults to the class name)."""
+        return type(self).__name__
+
+
+class FixedFleet(AutoscalePolicy):
+    """Never resize — the fixed-fleet baseline autoscaling compares against."""
+
+    def decide(self, signals: AutoscaleSignals) -> AutoscaleDecision:
+        return AutoscaleDecision(signals.provisioned_servers, "fixed fleet")
+
+
+class ReactiveThreshold(AutoscalePolicy):
+    """Threshold-with-hysteresis on queue length and slot utilization.
+
+    Scales **up** when the admission queue reaches ``scale_up_queue`` or the
+    fleet's session-slot utilization reaches ``scale_up_utilization``; the
+    backlog is sized into the move (one server per ``sessions_per_server``
+    queued requests) and servers already warming are subtracted, so a flash
+    crowd triggers one appropriately-sized ramp instead of a new server
+    every step.  Scales **down** one server at a time, only when the queue
+    is empty, utilization has fallen to ``scale_down_utilization``, nothing
+    is still warming, and at least ``scale_down_cooldown_steps`` have passed
+    since the last resize in either direction.
+
+    The gap between the two utilization thresholds plus the cooldown is the
+    hysteresis band: a trace oscillating inside the band leaves the fleet
+    untouched.
+
+    Parameters
+    ----------
+    scale_up_queue:
+        Queue length that triggers a scale-up.
+    scale_up_utilization, scale_down_utilization:
+        Slot-utilization thresholds (active sessions over
+        ``dispatchable_servers * sessions_per_server``); the scale-down
+        threshold must sit strictly below the scale-up threshold.
+    sessions_per_server:
+        Session slots one server offers (match the admission policy's
+        per-server concurrency bound).
+    scale_down_cooldown_steps:
+        Minimum steps between the last resize and a scale-down.
+    max_step_up:
+        Optional bound on how many servers one scale-up may add.
+    """
+
+    def __init__(
+        self,
+        scale_up_queue: int = 4,
+        scale_up_utilization: float = 0.85,
+        scale_down_utilization: float = 0.35,
+        sessions_per_server: int = 4,
+        scale_down_cooldown_steps: int = 15,
+        max_step_up: int | None = None,
+    ) -> None:
+        if scale_up_queue < 1:
+            raise ClusterError(f"scale_up_queue must be >= 1, got {scale_up_queue}")
+        if not 0.0 < scale_up_utilization <= 1.0:
+            raise ClusterError(
+                f"scale_up_utilization must be in (0, 1], got {scale_up_utilization}"
+            )
+        if not 0.0 <= scale_down_utilization < scale_up_utilization:
+            raise ClusterError(
+                "scale_down_utilization must sit below scale_up_utilization "
+                f"(got {scale_down_utilization} vs {scale_up_utilization})"
+            )
+        if sessions_per_server < 1:
+            raise ClusterError(
+                f"sessions_per_server must be >= 1, got {sessions_per_server}"
+            )
+        if scale_down_cooldown_steps < 0:
+            raise ClusterError(
+                f"scale_down_cooldown_steps must be >= 0, got {scale_down_cooldown_steps}"
+            )
+        if max_step_up is not None and max_step_up < 1:
+            raise ClusterError(f"max_step_up must be >= 1, got {max_step_up}")
+        self.scale_up_queue = int(scale_up_queue)
+        self.scale_up_utilization = float(scale_up_utilization)
+        self.scale_down_utilization = float(scale_down_utilization)
+        self.sessions_per_server = int(sessions_per_server)
+        self.scale_down_cooldown_steps = int(scale_down_cooldown_steps)
+        self.max_step_up = max_step_up
+        self._last_resize_step = 0
+
+    def _utilization(self, signals: AutoscaleSignals) -> float:
+        slots = signals.dispatchable_servers * self.sessions_per_server
+        if slots == 0:
+            return 1.0
+        return signals.snapshot.total_active_sessions / slots
+
+    def decide(self, signals: AutoscaleSignals) -> AutoscaleDecision:
+        provisioned = signals.provisioned_servers
+        queue = signals.queue_length
+        utilization = self._utilization(signals)
+
+        if queue >= self.scale_up_queue or utilization >= self.scale_up_utilization:
+            needed = max(1, math.ceil(queue / self.sessions_per_server))
+            if self.max_step_up is not None:
+                needed = min(needed, self.max_step_up)
+            add = needed - signals.warming_servers
+            target = signals.clamp(provisioned + add) if add > 0 else provisioned
+            if target > provisioned:
+                self._last_resize_step = signals.step
+                return AutoscaleDecision(
+                    target,
+                    f"queue={queue} utilization={utilization:.2f} above "
+                    f"scale-up thresholds",
+                )
+            return AutoscaleDecision(
+                provisioned,
+                "pressure already covered by warming servers or the fleet "
+                "ceiling",
+            )
+
+        if (
+            queue == 0
+            and signals.warming_servers == 0
+            and utilization <= self.scale_down_utilization
+            and signals.step - self._last_resize_step >= self.scale_down_cooldown_steps
+        ):
+            target = signals.clamp(provisioned - 1)
+            if target < provisioned:
+                self._last_resize_step = signals.step
+                return AutoscaleDecision(
+                    target,
+                    f"utilization={utilization:.2f} below scale-down threshold",
+                )
+
+        return AutoscaleDecision(provisioned, "inside hysteresis band")
+
+
+class TargetTracking(AutoscalePolicy):
+    """Track a target fraction of the fleet's power budget.
+
+    The fleet-level analogue of the paper's per-server power cap: the policy
+    holds the fleet's *projected* power (the within-step projection shared
+    with :class:`~repro.cluster.admission.PowerHeadroom`) at
+    ``target_power_fraction`` of ``snapshot.power_cap_w`` by resizing
+    proportionally — the classic target-tracking rule
+    ``desired = current * metric / target``.  A symmetric ``deadband``
+    around the target absorbs noise, and scale-downs additionally require an
+    empty queue, no warming servers and a cooldown.
+
+    Parameters
+    ----------
+    target_power_fraction:
+        Fraction of the fleet power budget to hold (0 < target <= 1).
+    watts_per_session_estimate:
+        Idle-fleet fallback for the marginal-power estimate.
+    deadband:
+        Relative half-width of the no-action band around the target.
+    scale_down_cooldown_steps:
+        Minimum steps between the last resize and a scale-down.
+    """
+
+    def __init__(
+        self,
+        target_power_fraction: float = 0.65,
+        watts_per_session_estimate: float = 25.0,
+        deadband: float = 0.1,
+        scale_down_cooldown_steps: int = 10,
+    ) -> None:
+        if not 0.0 < target_power_fraction <= 1.0:
+            raise ClusterError(
+                f"target_power_fraction must be in (0, 1], got {target_power_fraction}"
+            )
+        if watts_per_session_estimate <= 0:
+            raise ClusterError(
+                "watts_per_session_estimate must be positive, "
+                f"got {watts_per_session_estimate}"
+            )
+        if deadband < 0:
+            raise ClusterError(f"deadband must be >= 0, got {deadband}")
+        if scale_down_cooldown_steps < 0:
+            raise ClusterError(
+                f"scale_down_cooldown_steps must be >= 0, got {scale_down_cooldown_steps}"
+            )
+        self.target_power_fraction = float(target_power_fraction)
+        self.watts_per_session_estimate = float(watts_per_session_estimate)
+        self.deadband = float(deadband)
+        self.scale_down_cooldown_steps = int(scale_down_cooldown_steps)
+        self._last_resize_step = 0
+
+    def decide(self, signals: AutoscaleSignals) -> AutoscaleDecision:
+        provisioned = signals.provisioned_servers
+        snapshot = signals.snapshot
+        if snapshot.num_servers == 0 or snapshot.power_cap_w <= 0:
+            return AutoscaleDecision(provisioned, "no dispatchable budget to track")
+
+        fraction = (
+            snapshot.projected_power_w(self.watts_per_session_estimate)
+            / snapshot.power_cap_w
+        )
+        target_fraction = self.target_power_fraction
+        desired = signals.clamp(
+            max(1, math.ceil(snapshot.num_servers * fraction / target_fraction))
+        )
+        reason = (
+            f"power at {100 * fraction:.0f}% of budget, target "
+            f"{100 * target_fraction:.0f}%"
+        )
+
+        if fraction > target_fraction * (1.0 + self.deadband) and desired > provisioned:
+            self._last_resize_step = signals.step
+            return AutoscaleDecision(desired, reason)
+        if (
+            fraction < target_fraction * (1.0 - self.deadband)
+            and desired < provisioned
+            and signals.queue_length == 0
+            and signals.warming_servers == 0
+            and signals.step - self._last_resize_step
+            >= self.scale_down_cooldown_steps
+        ):
+            self._last_resize_step = signals.step
+            return AutoscaleDecision(desired, reason)
+        return AutoscaleDecision(provisioned, "inside target deadband")
+
+
+class PredictiveScaling(AutoscalePolicy):
+    """Forecast arrivals with an EWMA and provision for the forecast.
+
+    Each step the observed arrival count updates an exponentially weighted
+    moving average of the arrival rate; Little's law turns the forecast into
+    an expected concurrency (``rate * service_steps``) and the policy
+    provisions ``headroom`` times the servers that concurrency needs.  The
+    fleet therefore starts growing while a ramp is still building — before
+    the queue that would trigger a reactive policy even exists — at the cost
+    of trusting the forecast.  Scale-downs wait for the EWMA to decay and
+    are cooldown-gated so a burst's tail does not flap the fleet.
+
+    Parameters
+    ----------
+    sessions_per_server:
+        Session slots one server offers.
+    service_steps:
+        Expected session lifetime in cluster steps (one step transcodes one
+        frame, so this is the playlist length in frames).
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher tracks faster but chases
+        the Poisson noise of per-step arrival counts (0.1 remembers roughly
+        the last ten steps).
+    headroom:
+        Capacity multiplier over the point forecast (>= 1).
+    scale_down_cooldown_steps:
+        Minimum steps between the last resize and a scale-down.
+    scale_down_slack:
+        Servers of excess the forecast must show before a scale-down is
+        worth it — the asymmetric half of the hysteresis (scale-ups act on
+        a one-server deficit, scale-downs wait for ``1 + slack``), which
+        keeps a slowly breathing trace from flapping the fleet.
+    """
+
+    def __init__(
+        self,
+        sessions_per_server: int = 4,
+        service_steps: int = 72,
+        alpha: float = 0.1,
+        headroom: float = 1.15,
+        scale_down_cooldown_steps: int = 12,
+        scale_down_slack: int = 1,
+    ) -> None:
+        if sessions_per_server < 1:
+            raise ClusterError(
+                f"sessions_per_server must be >= 1, got {sessions_per_server}"
+            )
+        if service_steps < 1:
+            raise ClusterError(f"service_steps must be >= 1, got {service_steps}")
+        if not 0.0 < alpha <= 1.0:
+            raise ClusterError(f"alpha must be in (0, 1], got {alpha}")
+        if headroom < 1.0:
+            raise ClusterError(f"headroom must be >= 1, got {headroom}")
+        if scale_down_cooldown_steps < 0:
+            raise ClusterError(
+                f"scale_down_cooldown_steps must be >= 0, got {scale_down_cooldown_steps}"
+            )
+        if scale_down_slack < 0:
+            raise ClusterError(
+                f"scale_down_slack must be >= 0, got {scale_down_slack}"
+            )
+        self.sessions_per_server = int(sessions_per_server)
+        self.service_steps = int(service_steps)
+        self.alpha = float(alpha)
+        self.headroom = float(headroom)
+        self.scale_down_cooldown_steps = int(scale_down_cooldown_steps)
+        self.scale_down_slack = int(scale_down_slack)
+        self._rate_forecast: float | None = None
+        self._last_resize_step = 0
+
+    @property
+    def rate_forecast(self) -> float:
+        """The current EWMA arrival-rate forecast (0 before any sample)."""
+        return self._rate_forecast if self._rate_forecast is not None else 0.0
+
+    def decide(self, signals: AutoscaleSignals) -> AutoscaleDecision:
+        if self._rate_forecast is None:
+            self._rate_forecast = float(signals.arrivals)
+        else:
+            self._rate_forecast = (
+                self.alpha * signals.arrivals
+                + (1.0 - self.alpha) * self._rate_forecast
+            )
+
+        expected_sessions = self._rate_forecast * self.service_steps
+        desired = signals.clamp(
+            max(
+                1,
+                math.ceil(
+                    self.headroom * expected_sessions / self.sessions_per_server
+                ),
+            )
+        )
+        provisioned = signals.provisioned_servers
+        reason = (
+            f"forecast {self._rate_forecast:.2f}/step -> "
+            f"{expected_sessions:.0f} concurrent sessions"
+        )
+
+        if desired > provisioned:
+            self._last_resize_step = signals.step
+            return AutoscaleDecision(desired, reason)
+        # Never shrink below what the sessions already running need — the
+        # forecast may lag a burst's tail, but draining capacity that is
+        # still in use would only force a re-provision a few steps later.
+        occupancy_floor = max(
+            1,
+            math.ceil(
+                signals.snapshot.total_active_sessions / self.sessions_per_server
+            ),
+        )
+        target = signals.clamp(max(desired, occupancy_floor))
+        if (
+            target < provisioned - self.scale_down_slack
+            and signals.queue_length == 0
+            and signals.step - self._last_resize_step
+            >= self.scale_down_cooldown_steps
+        ):
+            self._last_resize_step = signals.step
+            return AutoscaleDecision(target, reason)
+        return AutoscaleDecision(provisioned, reason)

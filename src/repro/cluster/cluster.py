@@ -8,17 +8,30 @@ step-wise; each step it
 1. re-evaluates queued requests (FIFO) against the admission policy,
 2. offers the step's new arrivals to the admission policy,
 3. routes admitted requests to a server via the dispatch policy
-   (sessions join mid-run through ``Orchestrator.add_session``), and
-4. advances every server by one frame, sampling idle power on servers with
-   nothing to do so fleet energy accounting includes the machines that are
-   merely switched on.
+   (sessions join mid-run through ``Orchestrator.add_session``),
+4. consults the optional autoscaling policy
+   (:mod:`repro.cluster.autoscale`) and resizes the fleet — commissioning
+   servers that idle through a provisioning warm-up before accepting work,
+   and draining servers before decommissioning them so active sessions are
+   never killed, and
+5. advances every powered-on server by one frame, sampling idle power on
+   servers with nothing to do (warming servers included) so fleet energy
+   accounting includes the machines that are merely switched on.
 
-Step 4 runs on one of two engines selected by the ``engine`` parameter:
+Step 5 runs on one of two engines selected by the ``engine`` parameter:
 ``"batch"`` (the default) advances the whole fleet in one fused NumPy batch
 per step via :class:`~repro.cluster.batch.BatchStepper`; ``"scalar"`` steps
 server by server and session by session through the scalar model calls.  The
 engines are seed-for-seed equivalent — same results, the batch engine is
-just what makes thousand-server fleets tractable.
+just what makes thousand-server fleets tractable.  Fleet resizes rebuild the
+batch stepper's per-server constants; membership changes are therefore
+identical on both engines.
+
+Scheduling decisions are O(servers): per-server active-session counts are
+maintained incrementally (updated once per step as the engines advance, and
+on every dispatch) instead of walking each orchestrator's session list per
+arrival, and consecutive decisions within a step derive their snapshot from
+the previous one instead of rebuilding it.
 
 Everything downstream of the seed is deterministic: the same
 ``(workload seed, policies, cluster seed)`` tuple reproduces the identical
@@ -34,6 +47,7 @@ from typing import Mapping, Optional, Sequence
 from repro.constants import DEFAULT_POWER_CAP_W
 from repro.errors import ClusterError
 from repro.cluster.admission import AdmissionPolicy, AdmissionVerdict, CapacityThreshold
+from repro.cluster.autoscale import AutoscalePolicy, AutoscaleSignals
 from repro.cluster.batch import BatchStepper
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
@@ -42,10 +56,54 @@ from repro.manager.factories import ControllerFactory, mamut_factory
 from repro.manager.orchestrator import Orchestrator
 from repro.manager.session import TranscodingSession
 from repro.metrics.cluster import ClusterSummary, summarize_cluster
-from repro.metrics.records import FrameRecord, PowerSample
+from repro.metrics.records import FleetSample, FrameRecord, PowerSample, ScalingEvent
 from repro.platform.server import MulticoreServer
 
 __all__ = ["ClusterResult", "ClusterOrchestrator"]
+
+# Lifecycle of one server slot.  Slots are append-only: a decommissioned
+# server stops stepping but keeps its records and power trace in the result.
+_WARMING = "warming"      # commissioned, idling through the provisioning delay
+_ACTIVE = "active"        # dispatchable
+_DRAINING = "draining"    # no new sessions; finishing the ones it has
+_RETIRED = "retired"      # decommissioned; no longer stepping
+
+
+class _ServerSlot:
+    """One server's live bookkeeping inside the cluster."""
+
+    __slots__ = (
+        "index",
+        "orchestrator",
+        "state",
+        "idle_power_w",
+        "last_power_w",
+        "last_active",
+        "dispatched",
+        "active_count",
+        "samples",
+        "commissioned_step",
+        "ready_step",
+        "decommissioned_step",
+    )
+
+    def __init__(
+        self, index: int, orchestrator: Orchestrator, commissioned_step: int
+    ) -> None:
+        self.index = index
+        self.orchestrator = orchestrator
+        self.state = _ACTIVE
+        # Before a server's first step its "last power" is its idle draw
+        # (allocate([]) is side-effect free).
+        self.idle_power_w = orchestrator.server.allocate([]).total_power_w
+        self.last_power_w = self.idle_power_w
+        self.last_active = 0
+        self.dispatched = 0
+        self.active_count = 0
+        self.samples: list[PowerSample] = []
+        self.commissioned_step = commissioned_step
+        self.ready_step = commissioned_step
+        self.decommissioned_step: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,10 +113,13 @@ class ClusterResult:
     Attributes
     ----------
     records_by_server:
-        One ``{session_id: [FrameRecord, ...]}`` mapping per server.
+        One ``{session_id: [FrameRecord, ...]}`` mapping per server, in
+        commissioning order (decommissioned servers keep their entry).
     samples_by_server:
-        One power trace per server; every server contributes exactly one
-        sample per cluster step (idle steps included).
+        One power trace per server; a server contributes one sample per
+        cluster step it was powered on (idle and warm-up steps included), so
+        traces of servers commissioned or decommissioned mid-run are shorter
+        than the run.
     arrivals, admitted, rejected, abandoned:
         The admission ledger; ``abandoned`` counts requests still queued
         when the run ended.
@@ -66,6 +127,11 @@ class ClusterResult:
         Steps each admitted request spent queued (0 = admitted on arrival).
     steps:
         Cluster steps executed, drain included.
+    scaling_events:
+        Fleet resizes executed by the autoscaling policy (empty without one).
+    fleet_trace:
+        One :class:`~repro.metrics.records.FleetSample` per cluster step —
+        the elasticity trace (fleet size, queue, per-step QoS).
     """
 
     records_by_server: tuple[Mapping[str, Sequence[FrameRecord]], ...]
@@ -76,6 +142,8 @@ class ClusterResult:
     abandoned: int
     queue_waits: tuple[int, ...]
     steps: int
+    scaling_events: tuple[ScalingEvent, ...] = ()
+    fleet_trace: tuple[FleetSample, ...] = ()
 
     def summary(self) -> ClusterSummary:
         """Aggregate the run into fleet-level metrics."""
@@ -88,6 +156,8 @@ class ClusterResult:
             abandoned=self.abandoned,
             queue_waits=self.queue_waits,
             steps=self.steps,
+            scaling_events=self.scaling_events,
+            fleet_trace=self.fleet_trace,
         )
 
 
@@ -97,7 +167,7 @@ class ClusterOrchestrator:
     Parameters
     ----------
     num_servers:
-        Servers in the fleet; each gets its own fresh
+        Servers in the initial fleet; each gets its own fresh
         :class:`~repro.platform.server.MulticoreServer`.
     workload:
         The arrival stream (see :class:`~repro.cluster.workload.WorkloadGenerator`).
@@ -109,11 +179,13 @@ class ClusterOrchestrator:
         Per-session controller builder ``(request, seed) -> Controller``;
         defaults to fresh MAMUT controllers under ``power_cap_w``.
     server_factory:
-        Callable creating one server; lets callers mix topologies.
+        Callable creating one server; also used for servers commissioned by
+        the autoscaler mid-run.
     power_cap_w:
         Per-server power cap handed to the default controller factory; the
         fleet budget visible to admission policies is
-        ``fleet_power_cap_w or num_servers * power_cap_w``.
+        ``fleet_power_cap_w or dispatchable_servers * power_cap_w`` (the
+        latter tracks the fleet as it is resized).
     seed:
         Seeds the per-session controller randomness (the workload carries
         its own seed).
@@ -123,6 +195,17 @@ class ClusterOrchestrator:
         server's sessions one by one.  Both engines produce identical
         results for the same seed; use ``"scalar"`` when sessions carry
         models whose *methods* (not just parameters) were overridden.
+    autoscaler:
+        Optional :class:`~repro.cluster.autoscale.AutoscalePolicy` consulted
+        once per step (after admission, before stepping).  ``None`` keeps
+        the fleet fixed at ``num_servers``.
+    min_servers, max_servers:
+        Band the autoscaler's target is clamped to; default ``1`` and
+        ``4 * num_servers``.
+    provision_warmup_steps:
+        Steps a commissioned server idles (drawing idle power) before it
+        joins the dispatchable fleet; 0 makes new servers dispatchable on
+        the next step.
     """
 
     def __init__(
@@ -137,12 +220,20 @@ class ClusterOrchestrator:
         fleet_power_cap_w: Optional[float] = None,
         seed: int = 0,
         engine: str = "batch",
+        autoscaler: Optional[AutoscalePolicy] = None,
+        min_servers: Optional[int] = None,
+        max_servers: Optional[int] = None,
+        provision_warmup_steps: int = 3,
     ) -> None:
         if num_servers < 1:
             raise ClusterError(f"num_servers must be >= 1, got {num_servers}")
         if engine not in ("batch", "scalar"):
             raise ClusterError(
                 f"engine must be 'batch' or 'scalar', got {engine!r}"
+            )
+        if provision_warmup_steps < 0:
+            raise ClusterError(
+                f"provision_warmup_steps must be >= 0, got {provision_warmup_steps}"
             )
         self.workload = workload
         self.admission = admission if admission is not None else CapacityThreshold()
@@ -152,7 +243,11 @@ class ClusterOrchestrator:
             if controller_factory is not None
             else mamut_factory(power_cap_w=power_cap_w)
         )
+        self.server_factory = server_factory
         self.power_cap_w = float(power_cap_w)
+        # An explicit fleet budget stays fixed; the derived default tracks
+        # the dispatchable fleet as the autoscaler resizes it.
+        self._fixed_fleet_cap = fleet_power_cap_w is not None
         self.fleet_power_cap_w = (
             float(fleet_power_cap_w)
             if fleet_power_cap_w is not None
@@ -160,40 +255,75 @@ class ClusterOrchestrator:
         )
         self.seed = int(seed)
         self.engine = engine
+        self.autoscaler = autoscaler
+        self.min_servers = int(min_servers) if min_servers is not None else 1
+        self.max_servers = (
+            int(max_servers) if max_servers is not None else 4 * num_servers
+        )
+        if self.min_servers < 1:
+            raise ClusterError(f"min_servers must be >= 1, got {self.min_servers}")
+        if self.max_servers < self.min_servers:
+            raise ClusterError(
+                f"max_servers ({self.max_servers}) must be >= min_servers "
+                f"({self.min_servers})"
+            )
+        self.provision_warmup_steps = int(provision_warmup_steps)
         self._stepper: Optional[BatchStepper] = None
-        self.orchestrators = [
-            Orchestrator(server=server_factory()) for _ in range(num_servers)
+        self._slots = [
+            _ServerSlot(index, Orchestrator(server=server_factory()), 0)
+            for index in range(num_servers)
         ]
-        # Before a server's first step its "last power" is its idle draw
-        # (allocate([]) is side-effect free).
-        self._idle_power_w = [
-            orch.server.allocate([]).total_power_w for orch in self.orchestrators
-        ]
-        self._last_power_w = list(self._idle_power_w)
-        self._last_active = [0] * num_servers
-        self._dispatched = [0] * num_servers
+        self._dispatchable: list[_ServerSlot] = list(self._slots)
+        self._live: list[_ServerSlot] = list(self._slots)
+        self._scaling_events: list[ScalingEvent] = []
+        self._fleet_trace: list[FleetSample] = []
         self._admitted = 0
         self._ran = False
 
     @property
+    def orchestrators(self) -> list[Orchestrator]:
+        """Per-server orchestrators, every server ever commissioned."""
+        return [slot.orchestrator for slot in self._slots]
+
+    @property
     def num_servers(self) -> int:
-        """Servers in the fleet."""
-        return len(self.orchestrators)
+        """Servers currently powered on (warming and draining included)."""
+        return len(self._live)
 
     # -- state -------------------------------------------------------------------------
 
+    def _refresh_fleet_views(self) -> None:
+        """Rebuild the dispatchable/live rosters after a membership change."""
+        self._dispatchable = [s for s in self._slots if s.state == _ACTIVE]
+        live = [s for s in self._slots if s.state != _RETIRED]
+        # The batch stepper's per-server constants are bound to the stepped
+        # (live) fleet; state flips that keep the same servers powered on
+        # (warming -> active, active -> draining) don't invalidate it.
+        if live != self._live:
+            self._stepper = None
+        self._live = live
+        if not self._fixed_fleet_cap:
+            self.fleet_power_cap_w = len(self._dispatchable) * self.power_cap_w
+
     def snapshot(self, step: int, queue_length: int) -> ClusterSnapshot:
-        """Immutable fleet state as seen by admission/dispatch policies."""
+        """Immutable fleet state as seen by admission/dispatch policies.
+
+        Covers the *dispatchable* servers (warming and draining servers take
+        no new sessions); ``server_index`` is the position within this
+        snapshot, which is what dispatch policies return.  Built from the
+        incrementally maintained per-server counters — O(servers), no
+        session-list walks.
+        """
         servers = tuple(
             ServerSnapshot(
                 server_index=index,
-                active_sessions=len(orch.active_sessions()),
-                last_power_w=self._last_power_w[index],
-                sessions_dispatched=self._dispatched[index],
-                idle_power_w=self._idle_power_w[index],
-                last_active_sessions=self._last_active[index],
+                active_sessions=slot.active_count,
+                last_power_w=slot.last_power_w,
+                sessions_dispatched=slot.dispatched,
+                idle_power_w=slot.idle_power_w,
+                last_active_sessions=slot.last_active,
             )
-            for index, orch in enumerate(self.orchestrators)
+            for index, slot in enumerate(self._dispatchable)
         )
         return ClusterSnapshot(
             step=step,
@@ -201,6 +331,38 @@ class ClusterOrchestrator:
             queue_length=queue_length,
             power_cap_w=self.fleet_power_cap_w,
         )
+
+    def _derive_snapshot(
+        self,
+        step: int,
+        queue_length: int,
+        base: Optional[ClusterSnapshot],
+    ) -> ClusterSnapshot:
+        """The snapshot for the next decision, derived from the previous one.
+
+        Between two decisions of the same step only the queue length changes
+        (dispatches update the base through :meth:`_bump_server`), so the
+        previous snapshot is reused instead of being rebuilt from the fleet.
+        """
+        if base is None:
+            return self.snapshot(step, queue_length)
+        if base.queue_length != queue_length:
+            return dataclasses.replace(base, queue_length=queue_length)
+        return base
+
+    @staticmethod
+    def _bump_server(snapshot: ClusterSnapshot, index: int) -> ClusterSnapshot:
+        """The snapshot after one dispatch to ``index`` (one more session)."""
+        server = snapshot.servers[index]
+        bumped = dataclasses.replace(
+            server,
+            active_sessions=server.active_sessions + 1,
+            sessions_dispatched=server.sessions_dispatched + 1,
+        )
+        servers = (
+            snapshot.servers[:index] + (bumped,) + snapshot.servers[index + 1 :]
+        )
+        return dataclasses.replace(snapshot, servers=servers)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -218,7 +380,8 @@ class ClusterOrchestrator:
         admission: requests still queued when the window ends are *not*
         served by capacity freed during the tail — they are reported as
         ``abandoned``.  ``max_drain_steps`` bounds the tail for overload
-        experiments.
+        experiments.  The autoscaler keeps running during the tail but may
+        only shrink the fleet (there is nothing left to admit).
 
         A cluster orchestrator is single-use: the per-server orchestrators
         keep their sessions, so a second ``run()`` would silently mix the
@@ -240,21 +403,25 @@ class ClusterOrchestrator:
         self._ran = True
 
         queue: deque[WorkloadEvent] = deque()
-        samples: list[list[PowerSample]] = [[] for _ in self.orchestrators]
         arrivals = admitted = rejected = 0
         queue_waits: list[int] = []
 
         for step in range(duration):
+            self._update_fleet(step)
+            snapshot: Optional[ClusterSnapshot] = None
+            step_arrivals = 0
+
             # Queued requests get first claim on freed capacity (FIFO: stop
             # at the first request the policy keeps queued).
             while queue:
-                snapshot = self.snapshot(step, len(queue) - 1)
+                snapshot = self._derive_snapshot(step, len(queue) - 1, snapshot)
                 verdict = self.admission.decide(queue[0], snapshot)
                 if verdict is AdmissionVerdict.QUEUE:
                     break
                 event = queue.popleft()
                 if verdict is AdmissionVerdict.ADMIT:
-                    self._dispatch(event, snapshot)
+                    index = self._dispatch(event, snapshot)
+                    snapshot = self._bump_server(snapshot, index)
                     admitted += 1
                     queue_waits.append(step - event.arrival_step)
                 else:
@@ -262,10 +429,12 @@ class ClusterOrchestrator:
 
             for event in self.workload.arrivals(step):
                 arrivals += 1
-                snapshot = self.snapshot(step, len(queue))
+                step_arrivals += 1
+                snapshot = self._derive_snapshot(step, len(queue), snapshot)
                 verdict = self.admission.decide(event, snapshot)
                 if verdict is AdmissionVerdict.ADMIT:
-                    self._dispatch(event, snapshot)
+                    index = self._dispatch(event, snapshot)
+                    snapshot = self._bump_server(snapshot, index)
                     admitted += 1
                     queue_waits.append(0)
                 elif verdict is AdmissionVerdict.QUEUE:
@@ -273,43 +442,55 @@ class ClusterOrchestrator:
                 else:
                     rejected += 1
 
-            self._advance(step, samples)
+            if self.autoscaler is not None:
+                self._autoscale(step, step_arrivals, len(queue), allow_grow=True)
+            frames, violations = self._advance(step)
+            self._record_fleet_sample(
+                step, step_arrivals, len(queue), frames, violations
+            )
 
         steps = duration
         if drain:
-            while any(orch.active_sessions() for orch in self.orchestrators):
+            while any(slot.active_count > 0 for slot in self._live):
                 if max_drain_steps is not None and steps - duration >= max_drain_steps:
                     break
-                self._advance(steps, samples)
+                self._update_fleet(steps)
+                if self.autoscaler is not None:
+                    self._autoscale(steps, 0, len(queue), allow_grow=False)
+                frames, violations = self._advance(steps)
+                self._record_fleet_sample(steps, 0, len(queue), frames, violations)
                 steps += 1
 
         return ClusterResult(
             records_by_server=tuple(
                 {
                     session.session_id: tuple(session.records)
-                    for session in orch.sessions
+                    for session in slot.orchestrator.sessions
                 }
-                for orch in self.orchestrators
+                for slot in self._slots
             ),
-            samples_by_server=tuple(tuple(trace) for trace in samples),
+            samples_by_server=tuple(tuple(slot.samples) for slot in self._slots),
             arrivals=arrivals,
             admitted=admitted,
             rejected=rejected,
             abandoned=len(queue),
             queue_waits=tuple(queue_waits),
             steps=steps,
+            scaling_events=tuple(self._scaling_events),
+            fleet_trace=tuple(self._fleet_trace),
         )
 
     # -- internals ---------------------------------------------------------------------
 
-    def _dispatch(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> None:
+    def _dispatch(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
         """Route an admitted event using the snapshot its admission saw
-        (cluster state cannot change between the two decisions)."""
+        (cluster state cannot change between the two decisions); returns the
+        chosen snapshot index."""
         index = self.dispatcher.select(event, snapshot)
-        if not 0 <= index < self.num_servers:
+        if not 0 <= index < len(snapshot.servers):
             raise ClusterError(
                 f"{self.dispatcher.name} chose server {index} "
-                f"of a {self.num_servers}-server fleet"
+                f"of a {len(snapshot.servers)}-server dispatchable fleet"
             )
         controller = self.controller_factory(
             event.request, self.seed + self._admitted
@@ -320,23 +501,194 @@ class ClusterOrchestrator:
             controller=controller,
             playlist=event.playlist,
         )
-        self.orchestrators[index].add_session(session)
-        self._dispatched[index] += 1
+        slot = self._dispatchable[index]
+        slot.orchestrator.add_session(session)
+        slot.dispatched += 1
+        slot.active_count += 1
+        return index
 
-    def _advance(self, step: int, samples: list[list[PowerSample]]) -> None:
-        """Step every server once, sampling idle power on empty servers."""
+    def _update_fleet(self, step: int) -> None:
+        """Activate warmed-up servers; retire drained ones.
+
+        Walks the live roster, not the append-only slot history, so the
+        per-step cost tracks the current fleet rather than every server
+        ever commissioned.
+        """
+        changed = False
+        for slot in self._live:
+            if slot.state == _WARMING and step >= slot.ready_step:
+                slot.state = _ACTIVE
+                changed = True
+            elif slot.state == _DRAINING and slot.active_count == 0:
+                slot.state = _RETIRED
+                slot.decommissioned_step = step
+                changed = True
+        if changed:
+            self._refresh_fleet_views()
+
+    def _autoscale(
+        self, step: int, arrivals: int, queue_length: int, allow_grow: bool
+    ) -> None:
+        """Consult the policy and execute its (clamped) fleet-size target."""
+        warming = sum(1 for s in self._live if s.state == _WARMING)
+        draining = sum(1 for s in self._live if s.state == _DRAINING)
+        provisioned = len(self._dispatchable) + warming
+        signals = AutoscaleSignals(
+            step=step,
+            snapshot=self.snapshot(step, queue_length),
+            arrivals=arrivals,
+            provisioned_servers=provisioned,
+            warming_servers=warming,
+            draining_servers=draining,
+            min_servers=self.min_servers,
+            max_servers=self.max_servers,
+        )
+        decision = self.autoscaler.decide(signals)
+        target = min(max(decision.target_servers, self.min_servers), self.max_servers)
+        if not allow_grow:
+            target = min(target, provisioned)
+        if target > provisioned:
+            self._commission(target - provisioned, step, provisioned, decision.reason)
+        elif target < provisioned:
+            self._decommission(
+                provisioned - target, step, provisioned, decision.reason
+            )
+
+    def _commission(
+        self, count: int, step: int, provisioned: int, reason: str
+    ) -> None:
+        """Grow by ``count``: rescue draining servers, then power on fresh ones.
+
+        A draining server is already warm, so cancelling its decommission
+        restores capacity instantly and for free; only the remainder pays
+        the provisioning warm-up.  The busiest draining servers are rescued
+        first (ties to the oldest) — they hold the most capacity.
+        """
+        remaining = count
+        draining = [s for s in self._live if s.state == _DRAINING]
+        for slot in sorted(draining, key=lambda s: (-s.active_count, s.index)):
+            if remaining == 0:
+                break
+            slot.state = _ACTIVE
+            remaining -= 1
+        for _ in range(remaining):
+            slot = _ServerSlot(
+                len(self._slots), Orchestrator(server=self.server_factory()), step
+            )
+            slot.ready_step = step + self.provision_warmup_steps
+            if self.provision_warmup_steps > 0:
+                slot.state = _WARMING
+            self._slots.append(slot)
+        self._refresh_fleet_views()
+        self._scaling_events.append(
+            ScalingEvent(
+                step=step,
+                direction="up",
+                servers=count,
+                fleet_before=provisioned,
+                fleet_after=provisioned + count,
+                policy=self.autoscaler.name,
+                reason=reason,
+            )
+        )
+
+    def _decommission(
+        self, count: int, step: int, provisioned: int, reason: str
+    ) -> None:
+        """Shrink by ``count``: cancel warming servers first, then drain.
+
+        Draining servers take no new sessions and retire once their last
+        session finishes — active sessions are never killed.  Among the
+        dispatchable servers the emptiest drain first (ties to the newest),
+        so capacity is released as quickly as possible.
+        """
+        remaining = count
+        for slot in reversed(self._live):
+            if remaining == 0:
+                break
+            if slot.state == _WARMING:
+                slot.state = _RETIRED
+                slot.decommissioned_step = step
+                remaining -= 1
+        if remaining > 0:
+            candidates = sorted(
+                self._dispatchable, key=lambda s: (s.active_count, -s.index)
+            )
+            for slot in candidates[:remaining]:
+                if slot.active_count == 0:
+                    slot.state = _RETIRED
+                    slot.decommissioned_step = step
+                else:
+                    slot.state = _DRAINING
+        self._refresh_fleet_views()
+        self._scaling_events.append(
+            ScalingEvent(
+                step=step,
+                direction="down",
+                servers=count,
+                fleet_before=provisioned,
+                fleet_after=provisioned - count,
+                policy=self.autoscaler.name,
+                reason=reason,
+            )
+        )
+
+    def _advance(self, step: int) -> tuple[int, int]:
+        """Step every powered-on server once; returns (frames, violations).
+
+        Idle and warming servers sample their idle power.  The per-slot
+        active counts are refreshed here — the once-per-step walk that keeps
+        every scheduling decision O(servers).
+        """
+        live = self._live
+        stepped = [slot.orchestrator.active_sessions() for slot in live]
         if self.engine == "batch":
             if self._stepper is None:
-                self._stepper = BatchStepper(self.orchestrators)
+                self._stepper = BatchStepper(
+                    [slot.orchestrator for slot in live]
+                )
             step_samples = self._stepper.step(step)
         else:
             step_samples = []
-            for orch in self.orchestrators:
-                sample = orch.run_step(step)
+            for slot in live:
+                sample = slot.orchestrator.run_step(step)
                 if sample is None:
-                    sample = orch.idle_step(step)
+                    sample = slot.orchestrator.idle_step(step)
                 step_samples.append(sample)
-        for index, sample in enumerate(step_samples):
-            samples[index].append(sample)
-            self._last_power_w[index] = sample.power_w
-            self._last_active[index] = sample.active_sessions
+
+        frames = violations = 0
+        for slot, sample, sessions in zip(live, step_samples, stepped):
+            slot.samples.append(sample)
+            slot.last_power_w = sample.power_w
+            slot.last_active = sample.active_sessions
+            still_active = 0
+            for session in sessions:
+                frames += 1
+                if session.records[-1].is_violation:
+                    violations += 1
+                if session.active:
+                    still_active += 1
+            slot.active_count = still_active
+        return frames, violations
+
+    def _record_fleet_sample(
+        self, step: int, arrivals: int, queue_length: int, frames: int, violations: int
+    ) -> None:
+        self._fleet_trace.append(
+            FleetSample(
+                step=step,
+                live_servers=len(self._live),
+                dispatchable_servers=len(self._dispatchable),
+                warming_servers=sum(
+                    1 for s in self._live if s.state == _WARMING
+                ),
+                draining_servers=sum(
+                    1 for s in self._live if s.state == _DRAINING
+                ),
+                queue_length=queue_length,
+                arrivals=arrivals,
+                active_sessions=sum(slot.active_count for slot in self._live),
+                frames=frames,
+                qos_violations=violations,
+            )
+        )

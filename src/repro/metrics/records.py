@@ -6,7 +6,7 @@ import dataclasses
 
 from repro.video.sequence import ResolutionClass
 
-__all__ = ["FrameRecord", "PowerSample"]
+__all__ = ["FrameRecord", "PowerSample", "ScalingEvent", "FleetSample"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,3 +84,78 @@ class PowerSample:
     power_w: float
     duration_s: float
     active_sessions: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingEvent:
+    """One fleet resize executed by an autoscaling policy.
+
+    Attributes
+    ----------
+    step:
+        Cluster step at which the resize was decided.
+    direction:
+        ``"up"`` (servers commissioned) or ``"down"`` (servers drained or a
+        pending provision cancelled).
+    servers:
+        Servers added or removed by this event.
+    fleet_before, fleet_after:
+        Provisioned fleet size (dispatchable plus warming servers) on either
+        side of the event.
+    policy:
+        Name of the autoscaling policy that requested the resize.
+    reason:
+        The policy's explanation of the signal that triggered it.
+    """
+
+    step: int
+    direction: str
+    servers: int
+    fleet_before: int
+    fleet_after: int
+    policy: str
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetSample:
+    """Observable fleet state at the end of one cluster step.
+
+    One sample per cluster step (drain steps included) — the elasticity
+    trace from which time-weighted fleet size and scaling-transient metrics
+    are computed.
+
+    Attributes
+    ----------
+    step:
+        Cluster step the sample closes.
+    live_servers:
+        Servers drawing power: warming + dispatchable + draining.
+    dispatchable_servers:
+        Servers accepting new sessions.
+    warming_servers:
+        Commissioned servers still provisioning (idling, not dispatchable).
+    draining_servers:
+        Servers finishing their sessions before decommission.
+    queue_length:
+        Admission queue length at the end of the step.
+    arrivals:
+        Requests that arrived during the step.
+    active_sessions:
+        Sessions still running fleet-wide after the step.
+    frames:
+        Frames transcoded fleet-wide during the step.
+    qos_violations:
+        Frames of the step processed below their session's FPS target.
+    """
+
+    step: int
+    live_servers: int
+    dispatchable_servers: int
+    warming_servers: int
+    draining_servers: int
+    queue_length: int
+    arrivals: int
+    active_sessions: int
+    frames: int
+    qos_violations: int

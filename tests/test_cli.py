@@ -94,3 +94,32 @@ class TestCommands:
         assert "admitted sessions" in output
         assert "fleet power (W)" in output
         assert "srv-0" in output and "srv-1" in output
+
+    def test_cluster_autoscale_prints_elasticity_metrics(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--servers",
+                "1",
+                "--traffic",
+                "flash",
+                "--arrival-rate",
+                "0.4",
+                "--duration",
+                "40",
+                "--frames-per-video",
+                "10",
+                "--autoscale",
+                "reactive",
+                "--max-servers",
+                "4",
+                "--warmup-steps",
+                "2",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "reactive autoscaling" in output
+        assert "mean fleet size" in output
+        assert "scale-up events" in output

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.metrics.cluster import summarize_cluster
-from repro.metrics.records import FrameRecord, PowerSample
+from repro.metrics.records import FleetSample, FrameRecord, PowerSample, ScalingEvent
 from repro.video.sequence import ResolutionClass
 
 
@@ -31,6 +31,31 @@ def record(session_id, step, fps, target_fps=24.0):
 def sample(step, power_w, active, duration_s=0.04):
     return PowerSample(
         step=step, power_w=power_w, duration_s=duration_s, active_sessions=active
+    )
+
+
+def fleet_sample(
+    step,
+    live,
+    *,
+    dispatchable=None,
+    warming=0,
+    draining=0,
+    queue=0,
+    frames=0,
+    violations=0,
+):
+    return FleetSample(
+        step=step,
+        live_servers=live,
+        dispatchable_servers=dispatchable if dispatchable is not None else live,
+        warming_servers=warming,
+        draining_servers=draining,
+        queue_length=queue,
+        arrivals=0,
+        active_sessions=0,
+        frames=frames,
+        qos_violations=violations,
     )
 
 
@@ -110,3 +135,70 @@ class TestSummarizeCluster:
                 queue_waits=[],
                 steps=0,
             )
+
+    def test_late_commissioned_server_aligns_by_sample_step(self):
+        # Server 1 joins at step 1: per-step fleet power must sum by the
+        # samples' step field, not by list position.
+        samples_a = [sample(0, 100.0, 1), sample(1, 100.0, 1)]
+        samples_b = [sample(1, 20.0, 0)]
+        summary = summarize_cluster(
+            [{}, {}],
+            [samples_a, samples_b],
+            arrivals=0,
+            admitted=0,
+            rejected=0,
+            abandoned=0,
+            queue_waits=[],
+            steps=2,
+        )
+        # Step 0: 100 W; step 1: 120 W.
+        assert summary.fleet_mean_power_w == pytest.approx(110.0)
+
+
+class TestElasticityMetrics:
+    def summarize(self, **kwargs):
+        return summarize_cluster(
+            [{}],
+            [[sample(0, 10.0, 0)]],
+            arrivals=0,
+            admitted=0,
+            rejected=0,
+            abandoned=0,
+            queue_waits=[],
+            steps=4,
+            **kwargs,
+        )
+
+    def test_defaults_without_a_trace(self):
+        summary = self.summarize()
+        assert summary.scale_up_events == 0
+        assert summary.mean_fleet_size == pytest.approx(1.0)
+        assert summary.peak_fleet_size == 1
+        assert summary.transient_steps == 0
+
+    def test_scaling_event_counters(self):
+        events = [
+            ScalingEvent(2, "up", 2, 1, 3, "ReactiveThreshold", "queue"),
+            ScalingEvent(9, "down", 1, 3, 2, "ReactiveThreshold", "idle"),
+        ]
+        summary = self.summarize(scaling_events=events)
+        assert summary.scale_up_events == 1
+        assert summary.scale_down_events == 1
+        assert summary.servers_added == 2
+        assert summary.servers_removed == 1
+
+    def test_fleet_trace_aggregates(self):
+        trace = [
+            fleet_sample(0, 1, queue=0, frames=4),
+            fleet_sample(1, 2, warming=1, queue=3, frames=4, violations=2),
+            fleet_sample(2, 2, queue=1, frames=6, violations=1),
+            fleet_sample(3, 3, draining=1, queue=1, frames=6, violations=1),
+        ]
+        summary = self.summarize(fleet_trace=trace)
+        assert summary.mean_fleet_size == pytest.approx(2.0)
+        assert summary.peak_fleet_size == 3
+        assert summary.mean_queue_length == pytest.approx(1.25)
+        assert summary.transient_steps == 2
+        assert summary.transient_mean_queue_length == pytest.approx(2.0)
+        # 3 violations over 10 frames during the two transient steps.
+        assert summary.transient_qos_violation_pct == pytest.approx(30.0)
