@@ -10,6 +10,8 @@ Provides quick access to the main experiments without writing Python::
     repro-mamut table2 --mixes 1x1,2x2,3x3
     repro-mamut cluster --servers 4 --arrival-rate 2.0 --duration 500
     repro-mamut cluster --traffic flash --autoscale reactive --max-servers 12
+    repro-mamut cluster --traffic flash --patience 12 --brownout
+    repro-mamut cluster --admission class-aware --hr-max-queue 32 --lr-max-queue 4
 
 (Equivalently: ``python -m repro.cli <command> ...``.)
 """
@@ -23,7 +25,9 @@ from typing import Sequence
 from repro.analysis.figures import fig2_characterization, fig5_trace
 from repro.cluster import (
     AlwaysAdmit,
+    BrownoutController,
     CapacityThreshold,
+    ClassAwareAdmission,
     ClusterOrchestrator,
     DiurnalTraffic,
     FlashCrowdTraffic,
@@ -32,11 +36,13 @@ from repro.cluster import (
     PowerAware,
     PowerHeadroom,
     PredictiveScaling,
+    QueueWhileWarming,
     ReactiveThreshold,
     RoundRobin,
     TargetTracking,
     WorkloadGenerator,
 )
+from repro.video.sequence import ResolutionClass
 from repro.analysis.tables import (
     fig4_scenario_one_sweep,
     table1_threads_frequency,
@@ -118,9 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--admission",
-        choices=("always", "capacity", "power"),
+        choices=("always", "capacity", "power", "class-aware"),
         default="capacity",
-        help="admission control policy",
+        help="admission control policy (class-aware: per-resolution-class SLAs)",
     )
     cluster.add_argument(
         "--dispatch",
@@ -136,6 +142,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--max-queue", type=int, default=16, help="admission queue bound"
+    )
+    cluster.add_argument(
+        "--hr-max-queue",
+        type=int,
+        default=None,
+        help="HR queue bound under class-aware admission (default: --max-queue)",
+    )
+    cluster.add_argument(
+        "--lr-max-queue",
+        type=int,
+        default=None,
+        help="LR queue bound under class-aware admission (default: --max-queue)",
+    )
+    cluster.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        help="steps a queued request waits before being dropped (default: forever)",
+    )
+    cluster.add_argument(
+        "--hr-patience",
+        type=int,
+        default=None,
+        help="patience override for HR requests",
+    )
+    cluster.add_argument(
+        "--lr-patience",
+        type=int,
+        default=None,
+        help="patience override for LR requests",
+    )
+    cluster.add_argument(
+        "--queue-while-warming",
+        action="store_true",
+        help="while servers warm, queue instead of rejecting (backlog may "
+        "grow to 2x the queue bound)",
+    )
+    cluster.add_argument(
+        "--brownout",
+        action="store_true",
+        help="degrade quality fleet-wide under sustained pressure instead of shedding",
+    )
+    cluster.add_argument(
+        "--brownout-fps-relax",
+        type=float,
+        default=0.75,
+        help="FPS-target factor applied to sessions admitted during brownout",
+    )
+    cluster.add_argument(
+        "--brownout-extra-sessions",
+        type=int,
+        default=2,
+        help="extra per-server session slots capacity admission unlocks during brownout",
     )
     cluster.add_argument("--hr-fraction", type=float, default=0.5)
     cluster.add_argument("--frames-per-video", type=int, default=72)
@@ -303,27 +362,71 @@ def _cluster_traffic(args: argparse.Namespace):
     return PoissonTraffic(args.arrival_rate)
 
 
-def _cmd_cluster(args: argparse.Namespace) -> None:
-    admission = {
-        "always": lambda: AlwaysAdmit(),
-        "capacity": lambda: CapacityThreshold(
+def _cluster_admission(args: argparse.Namespace):
+    def capacity(max_queue: int) -> CapacityThreshold:
+        return CapacityThreshold(
             max_sessions_per_server=args.max_sessions_per_server,
-            max_queue=args.max_queue,
-        ),
-        "power": lambda: PowerHeadroom(max_queue=args.max_queue),
-    }[args.admission]()
+            max_queue=max_queue,
+            brownout_extra_sessions=(
+                args.brownout_extra_sessions if args.brownout else 0
+            ),
+        )
+
+    queue_bound = args.max_queue
+    if args.admission == "always":
+        policy = AlwaysAdmit()
+    elif args.admission == "power":
+        policy = PowerHeadroom(max_queue=args.max_queue)
+    elif args.admission == "class-aware":
+        hr_queue = args.hr_max_queue if args.hr_max_queue is not None else args.max_queue
+        lr_queue = args.lr_max_queue if args.lr_max_queue is not None else args.max_queue
+        policy = ClassAwareAdmission(
+            {
+                ResolutionClass.HR: capacity(hr_queue),
+                ResolutionClass.LR: capacity(lr_queue),
+            }
+        )
+        queue_bound = max(hr_queue, lr_queue)
+    else:
+        policy = capacity(args.max_queue)
+    if args.queue_while_warming:
+        # The wrapper only matters if it tolerates a deeper backlog than
+        # the wrapped policy (which already queues up to its own bound):
+        # while servers warm, the queue may grow to twice the normal bound.
+        policy = QueueWhileWarming(policy, max_queue=2 * queue_bound)
+    return policy
+
+
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    admission = _cluster_admission(args)
     dispatcher = {
         "round-robin": RoundRobin,
         "least-loaded": LeastLoaded,
         "power-aware": PowerAware,
     }[args.dispatch]()
+    patience_by_class = {}
+    if args.hr_patience is not None:
+        patience_by_class[ResolutionClass.HR] = args.hr_patience
+    if args.lr_patience is not None:
+        patience_by_class[ResolutionClass.LR] = args.lr_patience
     workload = WorkloadGenerator(
         _cluster_traffic(args),
         seed=args.seed,
         hr_fraction=args.hr_fraction,
         playlist_videos=args.playlist_videos,
         frames_per_video=args.frames_per_video,
+        patience_steps=args.patience,
+        patience_by_class=patience_by_class or None,
     )
+    brownout = None
+    if args.brownout:
+        # The relaxed request target flows into the MAMUT config through the
+        # normal controller factory, so no separate degraded factory is
+        # needed here.
+        brownout = BrownoutController(
+            sessions_per_server=args.max_sessions_per_server,
+            fps_relax=args.brownout_fps_relax,
+        )
     autoscaler = None
     if args.autoscale != "none":
         service_steps = args.frames_per_video * args.playlist_videos
@@ -349,6 +452,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         min_servers=args.min_servers,
         max_servers=args.max_servers,
         provision_warmup_steps=args.warmup_steps,
+        brownout=brownout,
     )
     summary = cluster.run(args.duration, drain=not args.no_drain).summary()
 
@@ -367,8 +471,10 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         ["arrivals", summary.arrivals],
         ["admitted sessions", summary.admitted],
         ["rejected", summary.rejected],
+        ["dropped (patience)", summary.dropped],
         ["abandoned in queue", summary.abandoned],
         ["rejection rate (%)", 100.0 * summary.rejection_rate],
+        ["shed rate (%)", 100.0 * summary.shed_rate],
         ["mean queue wait (steps)", summary.mean_queue_wait_steps],
         ["mean active sessions", summary.mean_active_sessions],
         ["fleet power (W)", summary.fleet_mean_power_w],
@@ -377,6 +483,11 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         ["mean FPS", summary.mean_fps],
         ["QoS violations (Δ, %)", summary.qos_violation_pct],
     ]
+    if brownout is not None:
+        rows += [
+            ["brownout steps", summary.brownout_steps],
+            ["degraded sessions", summary.degraded_sessions],
+        ]
     if autoscaler is not None:
         rows += [
             ["mean fleet size", summary.mean_fleet_size],

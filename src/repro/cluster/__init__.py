@@ -13,7 +13,14 @@ orchestrators step-wise with sessions joining and leaving mid-run.  An
 optional :class:`~repro.cluster.autoscale.AutoscalePolicy` makes the fleet
 itself elastic: servers are commissioned (with a provisioning warm-up) and
 decommissioned (drain-before-retire) at run time from the same snapshot
-signals admission and dispatch see.
+signals admission and dispatch see.  Overload control rides on top:
+arriving events carry patience deadlines (queued requests are dropped once
+they expire), :class:`~repro.cluster.admission.ClassAwareAdmission` gives
+each resolution class its own SLA,
+:class:`~repro.cluster.admission.QueueWhileWarming` queues toward capacity
+that is about to exist, and the
+:class:`~repro.cluster.brownout.BrownoutController` degrades quality
+fleet-wide under sustained pressure instead of turning users away.
 """
 
 from repro.cluster.admission import (
@@ -21,8 +28,11 @@ from repro.cluster.admission import (
     AdmissionVerdict,
     AlwaysAdmit,
     CapacityThreshold,
+    ClassAwareAdmission,
     PowerHeadroom,
+    QueueWhileWarming,
 )
+from repro.cluster.brownout import BrownoutController
 from repro.cluster.autoscale import (
     AutoscaleDecision,
     AutoscalePolicy,
@@ -60,7 +70,11 @@ __all__ = [
     "AdmissionVerdict",
     "AlwaysAdmit",
     "CapacityThreshold",
+    "ClassAwareAdmission",
     "PowerHeadroom",
+    "QueueWhileWarming",
+    # brownout
+    "BrownoutController",
     # autoscaling
     "AutoscaleDecision",
     "AutoscalePolicy",

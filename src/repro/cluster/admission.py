@@ -16,11 +16,14 @@ lives in the :class:`~repro.cluster.cluster.ClusterOrchestrator`.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import enum
+from typing import Mapping, Optional
 
 from repro.errors import ClusterError
 from repro.cluster.state import ClusterSnapshot
 from repro.cluster.workload import WorkloadEvent
+from repro.video.sequence import ResolutionClass
 
 __all__ = [
     "AdmissionVerdict",
@@ -28,6 +31,8 @@ __all__ = [
     "AlwaysAdmit",
     "CapacityThreshold",
     "PowerHeadroom",
+    "ClassAwareAdmission",
+    "QueueWhileWarming",
 ]
 
 
@@ -80,20 +85,48 @@ class CapacityThreshold(AdmissionPolicy):
         16-core machine).
     max_queue:
         Longest backlog the service will hold before turning users away.
+    brownout_extra_sessions:
+        Additional per-server session slots unlocked per brownout level
+        (``snapshot.brownout_level``).  This is the capacity half of the
+        brownout bargain: while the
+        :class:`~repro.cluster.brownout.BrownoutController` degrades
+        quality fleet-wide, admission packs more (cheaper) sessions per
+        server instead of shedding users.  0 (the default) ignores brownout.
     """
 
-    def __init__(self, max_sessions_per_server: int = 4, max_queue: int = 16) -> None:
+    def __init__(
+        self,
+        max_sessions_per_server: int = 4,
+        max_queue: int = 16,
+        brownout_extra_sessions: int = 0,
+    ) -> None:
         if max_sessions_per_server < 1:
             raise ClusterError(
                 f"max_sessions_per_server must be >= 1, got {max_sessions_per_server}"
             )
         if max_queue < 0:
             raise ClusterError(f"max_queue must be >= 0, got {max_queue}")
+        if brownout_extra_sessions < 0:
+            raise ClusterError(
+                f"brownout_extra_sessions must be >= 0, got {brownout_extra_sessions}"
+            )
         self.max_sessions_per_server = int(max_sessions_per_server)
         self.max_queue = int(max_queue)
+        self.brownout_extra_sessions = int(brownout_extra_sessions)
 
     def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
-        if snapshot.least_loaded().active_sessions < self.max_sessions_per_server:
+        if snapshot.num_servers == 0:
+            # Zero dispatchable servers (e.g. the whole fleet warming or
+            # draining during a scaling transient): nothing to admit onto,
+            # but the backlog rule still applies.
+            if snapshot.queue_length < self.max_queue:
+                return AdmissionVerdict.QUEUE
+            return AdmissionVerdict.REJECT
+        bound = (
+            self.max_sessions_per_server
+            + self.brownout_extra_sessions * snapshot.brownout_level
+        )
+        if snapshot.least_loaded().active_sessions < bound:
             return AdmissionVerdict.ADMIT
         if snapshot.queue_length < self.max_queue:
             return AdmissionVerdict.QUEUE
@@ -127,6 +160,13 @@ class PowerHeadroom(AdmissionPolicy):
         self.max_queue = int(max_queue)
 
     def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        if snapshot.num_servers == 0:
+            # An empty dispatchable fleet always has "headroom", but there
+            # is no server to dispatch onto — queue instead of admitting
+            # into a crash.
+            if snapshot.queue_length < self.max_queue:
+                return AdmissionVerdict.QUEUE
+            return AdmissionVerdict.REJECT
         marginal_w = snapshot.marginal_session_power_w(self.watts_per_session_estimate)
         projected_w = snapshot.projected_power_w(self.watts_per_session_estimate)
         if projected_w + marginal_w <= snapshot.power_cap_w:
@@ -134,3 +174,129 @@ class PowerHeadroom(AdmissionPolicy):
         if snapshot.queue_length < self.max_queue:
             return AdmissionVerdict.QUEUE
         return AdmissionVerdict.REJECT
+
+
+class ClassAwareAdmission(AdmissionPolicy):
+    """Per-service-class SLAs: one sub-policy per service class.
+
+    The paper's traffic is two-class (HR premieres vs. LR catalogue); under
+    overload a single fleet-wide rule either protects both or sheds both.
+    This wrapper routes each arriving event to the sub-policy of its
+    ``service_class``, so e.g. HR traffic can ride a deep queue
+    (:class:`CapacityThreshold` with a large ``max_queue``) while LR traffic
+    sheds early (a shallow one).
+
+    Each sub-policy sees the queue *of its own class*: the wrapper rewrites
+    ``snapshot.queue_length`` to
+    :meth:`~repro.cluster.state.ClusterSnapshot.class_queue_length` before
+    delegating, so one class's backlog cannot eat another class's queue
+    budget (HR requests piling up must not push LR into rejection, nor
+    vice versa).
+
+    Parameters
+    ----------
+    policies:
+        Sub-policy per service class, keyed by the class label or a
+        :class:`~repro.video.sequence.ResolutionClass` (its ``value`` is
+        the label the workload generator stamps by default).
+    default:
+        Policy for classes without an entry; defaults to
+        :class:`CapacityThreshold`.
+    """
+
+    def __init__(
+        self,
+        policies: Mapping[ResolutionClass | str, AdmissionPolicy],
+        default: Optional[AdmissionPolicy] = None,
+    ) -> None:
+        if not policies and default is None:
+            raise ClusterError(
+                "ClassAwareAdmission needs at least one sub-policy"
+            )
+        self.policies = {
+            (key.value if isinstance(key, ResolutionClass) else str(key)): policy
+            for key, policy in policies.items()
+        }
+        self.default = default if default is not None else CapacityThreshold()
+
+    def policy_for(self, event: WorkloadEvent) -> AdmissionPolicy:
+        """The sub-policy serving ``event``'s service class."""
+        return self.policies.get(event.service_class, self.default)
+
+    def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        scoped = dataclasses.replace(
+            snapshot,
+            queue_length=snapshot.class_queue_length(event.service_class),
+        )
+        return self.policy_for(event).decide(event, scoped)
+
+    @property
+    def name(self) -> str:
+        parts = ", ".join(
+            f"{label}={policy.name}" for label, policy in self.policies.items()
+        )
+        return f"ClassAwareAdmission({parts})"
+
+
+class QueueWhileWarming(AdmissionPolicy):
+    """Autoscaling-aware admission: queue instead of rejecting when capacity
+    is about to exist.
+
+    Wraps any admission policy; a ``REJECT`` verdict is softened to
+    ``QUEUE`` while commissioned servers are still warming
+    (``snapshot.warming_servers``) and due dispatchable within
+    ``horizon_steps`` — the request's wait is bounded by the provisioning
+    delay, which is a better deal than a rejection.  ``ADMIT``/``QUEUE``
+    verdicts pass through untouched.
+
+    Parameters
+    ----------
+    inner:
+        The policy whose rejections are reconsidered.
+    max_queue:
+        Backlog bound for the softened verdicts (rejects stay rejects once
+        the queue is this long); match it to the wrapped policy's own queue
+        bound unless waiting-for-capacity should be allowed a deeper
+        backlog.
+    horizon_steps:
+        Only soften when the soonest warming server is dispatchable within
+        this many steps; ``None`` accepts any warming server.
+    """
+
+    def __init__(
+        self,
+        inner: AdmissionPolicy,
+        max_queue: int = 64,
+        horizon_steps: Optional[int] = None,
+    ) -> None:
+        if max_queue < 0:
+            raise ClusterError(f"max_queue must be >= 0, got {max_queue}")
+        if horizon_steps is not None and horizon_steps < 0:
+            raise ClusterError(
+                f"horizon_steps must be >= 0, got {horizon_steps}"
+            )
+        self.inner = inner
+        self.max_queue = int(max_queue)
+        self.horizon_steps = horizon_steps
+
+    def decide(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> AdmissionVerdict:
+        verdict = self.inner.decide(event, snapshot)
+        if verdict is not AdmissionVerdict.REJECT:
+            return verdict
+        if snapshot.warming_servers == 0:
+            return verdict
+        if snapshot.queue_length >= self.max_queue:
+            return verdict
+        if (
+            self.horizon_steps is not None
+            and (
+                snapshot.warming_ready_in is None
+                or snapshot.warming_ready_in > self.horizon_steps
+            )
+        ):
+            return verdict
+        return AdmissionVerdict.QUEUE
+
+    @property
+    def name(self) -> str:
+        return f"QueueWhileWarming({self.inner.name})"

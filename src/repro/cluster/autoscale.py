@@ -83,6 +83,13 @@ class AutoscaleSignals:
         resize from a clamped no-op (e.g. asking to grow past
         ``max_servers``), so cooldowns count from resizes that actually
         happened.
+    draining_tail:
+        True during the post-window drain tail, when admission is closed and
+        the leftover queue can never be served.  The orchestrator already
+        reports an effective queue of 0 in the snapshot during the tail (a
+        backlog nobody will admit must not block "scale down only when the
+        queue is empty" rules and keep idle servers powered); the flag lets
+        policies distinguish the tail explicitly.
     """
 
     step: int
@@ -93,6 +100,7 @@ class AutoscaleSignals:
     draining_servers: int
     min_servers: int = 1
     max_servers: int | None = None
+    draining_tail: bool = False
 
     def clamp(self, target_servers: int) -> int:
         """``target_servers`` after the orchestrator's band is applied."""

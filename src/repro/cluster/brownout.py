@@ -1,0 +1,192 @@
+"""Brownout: degrade quality fleet-wide instead of turning users away.
+
+Classic overload control sheds load — reject, drop, abandon.  A transcoding
+service has a second lever the paper's per-session controllers already
+expose: *quality*.  Under sustained pressure every user can be served a
+slightly worse stream (higher QP, relaxed FPS target) so that each session
+costs less and more of them fit under the same fleet and power budget; when
+the pressure passes, full quality returns.  That trade is the brownout
+pattern (Klein et al., ICSE'14) applied to the paper's QoS/power knobs.
+
+The :class:`BrownoutController` is consulted once per cluster step by the
+:class:`~repro.cluster.cluster.ClusterOrchestrator` with the step's
+scheduling :class:`~repro.cluster.state.ClusterSnapshot`.  It watches two
+pressure signals — admission-queue length per dispatchable server and
+session-slot utilization — and flips the fleet between level 0 (normal) and
+level 1 (browned out) with sustained-trigger hysteresis: pressure must hold
+for ``enter_steps`` consecutive steps to enter, and calm must hold for
+``exit_steps`` consecutive steps to exit, so a single bursty step never
+flaps quality fleet-wide.
+
+While active, the level is published on ``ClusterSnapshot.brownout_level``
+(admission policies such as :class:`~repro.cluster.admission.CapacityThreshold`
+may unlock extra session slots from it) and new sessions are degraded at
+dispatch time:
+
+* the request's FPS target is relaxed by ``fps_relax`` (the QoS bargain the
+  user accepts instead of a rejection), and
+* the session's controller is built by ``degraded_factory`` when one is
+  given (e.g. a static factory with a QP offset, or a MAMUT factory whose
+  config trades PSNR for throughput).
+
+Only *new* sessions are degraded — already-running sessions keep the deal
+they were admitted under, which also keeps the scalar and batch stepping
+engines trivially equivalent (degradation happens at dispatch, outside the
+engines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import ClusterError
+from repro.cluster.state import ClusterSnapshot
+from repro.manager.factories import ControllerFactory
+from repro.video.request import TranscodingRequest
+
+__all__ = ["BrownoutController"]
+
+
+class BrownoutController:
+    """Two-state (normal / browned-out) fleet-wide degradation controller.
+
+    Parameters
+    ----------
+    enter_queue_per_server, exit_queue_per_server:
+        Admission-queue length per dispatchable server above which pressure
+        counts toward entering brownout, and at-or-below which calm counts
+        toward exiting.  The exit threshold must sit below the enter
+        threshold (the hysteresis band).
+    enter_utilization, exit_utilization:
+        Session-slot utilization thresholds (active sessions over
+        ``dispatchable_servers * sessions_per_server``), same roles as the
+        queue pair.  Pressure is queue *or* utilization; calm is queue *and*
+        utilization.
+    sessions_per_server:
+        Session slots one server offers at level 0 (match the admission
+        policy's concurrency bound).
+    enter_steps, exit_steps:
+        Consecutive steps the pressure (resp. calm) condition must hold
+        before the level flips — the temporal half of the hysteresis.
+    fps_relax:
+        Factor in (0, 1] applied to the FPS target of sessions admitted
+        during brownout (1.0 keeps the target strict).
+    degraded_factory:
+        Optional controller factory used for sessions admitted during
+        brownout (e.g. a higher-QP static factory); ``None`` keeps the
+        orchestrator's normal factory.
+
+    The controller carries state (the consecutive-step counters); build a
+    fresh instance per run for reproducible traces.
+    """
+
+    def __init__(
+        self,
+        enter_queue_per_server: float = 2.0,
+        exit_queue_per_server: float = 0.25,
+        enter_utilization: float = 0.95,
+        exit_utilization: float = 0.6,
+        sessions_per_server: int = 4,
+        enter_steps: int = 3,
+        exit_steps: int = 6,
+        fps_relax: float = 0.75,
+        degraded_factory: Optional[ControllerFactory] = None,
+    ) -> None:
+        if enter_queue_per_server <= 0:
+            raise ClusterError(
+                f"enter_queue_per_server must be positive, got {enter_queue_per_server}"
+            )
+        if not 0.0 <= exit_queue_per_server < enter_queue_per_server:
+            raise ClusterError(
+                "exit_queue_per_server must sit below enter_queue_per_server "
+                f"(got {exit_queue_per_server} vs {enter_queue_per_server})"
+            )
+        if not 0.0 < enter_utilization <= 1.0:
+            raise ClusterError(
+                f"enter_utilization must be in (0, 1], got {enter_utilization}"
+            )
+        if not 0.0 <= exit_utilization < enter_utilization:
+            raise ClusterError(
+                "exit_utilization must sit below enter_utilization "
+                f"(got {exit_utilization} vs {enter_utilization})"
+            )
+        if sessions_per_server < 1:
+            raise ClusterError(
+                f"sessions_per_server must be >= 1, got {sessions_per_server}"
+            )
+        if enter_steps < 1:
+            raise ClusterError(f"enter_steps must be >= 1, got {enter_steps}")
+        if exit_steps < 1:
+            raise ClusterError(f"exit_steps must be >= 1, got {exit_steps}")
+        if not 0.0 < fps_relax <= 1.0:
+            raise ClusterError(f"fps_relax must be in (0, 1], got {fps_relax}")
+        self.enter_queue_per_server = float(enter_queue_per_server)
+        self.exit_queue_per_server = float(exit_queue_per_server)
+        self.enter_utilization = float(enter_utilization)
+        self.exit_utilization = float(exit_utilization)
+        self.sessions_per_server = int(sessions_per_server)
+        self.enter_steps = int(enter_steps)
+        self.exit_steps = int(exit_steps)
+        self.fps_relax = float(fps_relax)
+        self.degraded_factory = degraded_factory
+        self._level = 0
+        self._pressure_streak = 0
+        self._calm_streak = 0
+
+    @property
+    def level(self) -> int:
+        """Current degradation level (0 = normal, 1 = browned out)."""
+        return self._level
+
+    @property
+    def active(self) -> bool:
+        """True while the fleet is browned out."""
+        return self._level > 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable controller name."""
+        return type(self).__name__
+
+    # -- per-step update ---------------------------------------------------------------
+
+    def observe(self, snapshot: ClusterSnapshot) -> int:
+        """Feed one step's fleet state; returns the level for this step."""
+        queue_per_server = snapshot.queue_length / max(1, snapshot.num_servers)
+        slots = snapshot.num_servers * self.sessions_per_server
+        utilization = (
+            snapshot.total_active_sessions / slots if slots > 0 else 1.0
+        )
+        pressure = (
+            queue_per_server >= self.enter_queue_per_server
+            or utilization >= self.enter_utilization
+        )
+        calm = (
+            queue_per_server <= self.exit_queue_per_server
+            and utilization <= self.exit_utilization
+        )
+
+        if self._level == 0:
+            self._pressure_streak = self._pressure_streak + 1 if pressure else 0
+            if self._pressure_streak >= self.enter_steps:
+                self._level = 1
+                self._pressure_streak = 0
+                self._calm_streak = 0
+        else:
+            self._calm_streak = self._calm_streak + 1 if calm else 0
+            if self._calm_streak >= self.exit_steps:
+                self._level = 0
+                self._pressure_streak = 0
+                self._calm_streak = 0
+        return self._level
+
+    # -- degradation -------------------------------------------------------------------
+
+    def degrade_request(self, request: TranscodingRequest) -> TranscodingRequest:
+        """The request as served under brownout (relaxed FPS target)."""
+        if self.fps_relax >= 1.0:
+            return request
+        return dataclasses.replace(
+            request, target_fps=request.target_fps * self.fps_relax
+        )

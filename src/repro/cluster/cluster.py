@@ -5,8 +5,13 @@ fixed-cohort experiments and a production service.  It owns one
 :class:`~repro.manager.orchestrator.Orchestrator` per server and drives them
 step-wise; each step it
 
-1. re-evaluates queued requests (FIFO) against the admission policy,
-2. offers the step's new arrivals to the admission policy,
+1. ages the admission queue — requests past their patience deadline are
+   *dropped* (a ledger entry distinct from rejections) — and consults the
+   optional brownout controller (:mod:`repro.cluster.brownout`), which may
+   degrade the quality of newly admitted sessions fleet-wide instead of
+   letting the fleet shed load,
+2. re-evaluates queued requests (FIFO) against the admission policy and
+   offers the step's new arrivals to it,
 3. routes admitted requests to a server via the dispatch policy
    (sessions join mid-run through ``Orchestrator.add_session``),
 4. consults the optional autoscaling policy
@@ -49,6 +54,7 @@ from repro.errors import ClusterError
 from repro.cluster.admission import AdmissionPolicy, AdmissionVerdict, CapacityThreshold
 from repro.cluster.autoscale import AutoscalePolicy, AutoscaleSignals
 from repro.cluster.batch import BatchStepper
+from repro.cluster.brownout import BrownoutController
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import WorkloadEvent, WorkloadGenerator
@@ -123,8 +129,14 @@ class ClusterResult:
     arrivals, admitted, rejected, abandoned:
         The admission ledger; ``abandoned`` counts requests still queued
         when the run ended.
+    dropped:
+        Queued requests that aged past their patience deadline and were
+        dropped before ever reaching a server — distinct from ``rejected``
+        (turned away on decision) and ``abandoned`` (still queued at the
+        end).  0 when the workload carries no patience stamps.
     queue_waits:
         Steps each admitted request spent queued (0 = admitted on arrival).
+        Dropped requests never appear here — they were never admitted.
     steps:
         Cluster steps executed, drain included.
     scaling_events:
@@ -132,6 +144,11 @@ class ClusterResult:
     fleet_trace:
         One :class:`~repro.metrics.records.FleetSample` per cluster step —
         the elasticity trace (fleet size, queue, per-step QoS).
+    degraded_sessions:
+        Sessions admitted while the fleet was browned out (served at
+        degraded quality instead of being shed).
+    brownout_steps:
+        Cluster steps spent at a brownout level above 0.
     """
 
     records_by_server: tuple[Mapping[str, Sequence[FrameRecord]], ...]
@@ -144,6 +161,9 @@ class ClusterResult:
     steps: int
     scaling_events: tuple[ScalingEvent, ...] = ()
     fleet_trace: tuple[FleetSample, ...] = ()
+    dropped: int = 0
+    degraded_sessions: int = 0
+    brownout_steps: int = 0
 
     def summary(self) -> ClusterSummary:
         """Aggregate the run into fleet-level metrics."""
@@ -158,6 +178,9 @@ class ClusterResult:
             steps=self.steps,
             scaling_events=self.scaling_events,
             fleet_trace=self.fleet_trace,
+            dropped=self.dropped,
+            degraded_sessions=self.degraded_sessions,
+            brownout_steps=self.brownout_steps,
         )
 
 
@@ -206,6 +229,13 @@ class ClusterOrchestrator:
         Steps a commissioned server idles (drawing idle power) before it
         joins the dispatchable fleet; 0 makes new servers dispatchable on
         the next step.
+    brownout:
+        Optional :class:`~repro.cluster.brownout.BrownoutController`
+        consulted once per step (before admission).  While it reports a
+        level above 0, the level is published on the scheduling snapshot
+        and newly admitted sessions are served degraded (relaxed FPS
+        target and/or the controller's ``degraded_factory``) instead of
+        the fleet shedding load.
     """
 
     def __init__(
@@ -224,6 +254,7 @@ class ClusterOrchestrator:
         min_servers: Optional[int] = None,
         max_servers: Optional[int] = None,
         provision_warmup_steps: int = 3,
+        brownout: Optional[BrownoutController] = None,
     ) -> None:
         if num_servers < 1:
             raise ClusterError(f"num_servers must be >= 1, got {num_servers}")
@@ -279,6 +310,11 @@ class ClusterOrchestrator:
         self._fleet_trace: list[FleetSample] = []
         self._admitted = 0
         self._ran = False
+        self._queue_class_counts: dict[str, int] = {}
+        self.brownout = brownout
+        self._brownout_level = 0
+        self._brownout_steps = 0
+        self._degraded = 0
 
     @property
     def orchestrators(self) -> list[Orchestrator]:
@@ -310,9 +346,14 @@ class ClusterOrchestrator:
 
         Covers the *dispatchable* servers (warming and draining servers take
         no new sessions); ``server_index`` is the position within this
-        snapshot, which is what dispatch policies return.  Built from the
-        incrementally maintained per-server counters — O(servers), no
-        session-list walks.
+        snapshot, which is what dispatch policies return.  Warming and
+        draining servers are summarised instead: their current draw feeds
+        ``offline_power_w`` (so cap-enforcing policies see the whole
+        fleet's power, not just the dispatchable slots) and the warming
+        pipeline feeds ``warming_servers``/``warming_ready_in`` (so
+        admission can queue toward capacity that is about to exist).  Built
+        from the incrementally maintained per-server counters — O(servers),
+        no session-list walks.
         """
         servers = tuple(
             ServerSnapshot(
@@ -325,12 +366,40 @@ class ClusterOrchestrator:
             )
             for index, slot in enumerate(self._dispatchable)
         )
+        offline_power_w = 0.0
+        warming = 0
+        next_ready: Optional[int] = None
+        for slot in self._live:
+            if slot.state == _ACTIVE:
+                continue
+            offline_power_w += slot.last_power_w
+            if slot.state == _WARMING:
+                warming += 1
+                ready_in = max(0, slot.ready_step - step)
+                if next_ready is None or ready_in < next_ready:
+                    next_ready = ready_in
         return ClusterSnapshot(
             step=step,
             servers=servers,
             queue_length=queue_length,
             power_cap_w=self.fleet_power_cap_w,
+            offline_power_w=offline_power_w,
+            warming_servers=warming,
+            warming_ready_in=next_ready,
+            brownout_level=self._brownout_level,
+            queue_by_class=self._queue_class_view(queue_length),
         )
+
+    def _queue_class_view(self, queue_length: int) -> dict[str, int]:
+        """The per-class queue breakdown published on snapshots.
+
+        Keyed off the *effective* queue length so a drain-tail snapshot
+        (which reports an unservable leftover queue as 0) stays internally
+        consistent.
+        """
+        if queue_length == 0:
+            return {}
+        return {cls: n for cls, n in self._queue_class_counts.items() if n > 0}
 
     def _derive_snapshot(
         self,
@@ -340,14 +409,18 @@ class ClusterOrchestrator:
     ) -> ClusterSnapshot:
         """The snapshot for the next decision, derived from the previous one.
 
-        Between two decisions of the same step only the queue length changes
-        (dispatches update the base through :meth:`_bump_server`), so the
-        previous snapshot is reused instead of being rebuilt from the fleet.
+        Between two decisions of the same step only the queue (its length
+        and per-class breakdown) changes — dispatches update the base
+        through :meth:`_bump_server` — so the previous snapshot is reused
+        instead of being rebuilt from the fleet.
         """
         if base is None:
             return self.snapshot(step, queue_length)
-        if base.queue_length != queue_length:
-            return dataclasses.replace(base, queue_length=queue_length)
+        view = self._queue_class_view(queue_length)
+        if base.queue_length != queue_length or base.queue_by_class != view:
+            return dataclasses.replace(
+                base, queue_length=queue_length, queue_by_class=view
+            )
         return base
 
     @staticmethod
@@ -403,20 +476,42 @@ class ClusterOrchestrator:
         self._ran = True
 
         queue: deque[WorkloadEvent] = deque()
-        arrivals = admitted = rejected = 0
+        arrivals = admitted = rejected = dropped = 0
         queue_waits: list[int] = []
 
         for step in range(duration):
             self._update_fleet(step)
+            # Age the queue before anything gets a claim on capacity:
+            # requests past their patience deadline are dropped, never
+            # admitted, and never counted in the queue waits.
+            step_dropped = self._age_queue(queue, step)
+            dropped += step_dropped
             snapshot: Optional[ClusterSnapshot] = None
             step_arrivals = 0
 
+            if self.brownout is not None:
+                snapshot = self.snapshot(step, len(queue))
+                level = self.brownout.observe(snapshot)
+                if level != self._brownout_level:
+                    self._brownout_level = level
+                    snapshot = dataclasses.replace(snapshot, brownout_level=level)
+                if level > 0:
+                    self._brownout_steps += 1
+
             # Queued requests get first claim on freed capacity (FIFO: stop
-            # at the first request the policy keeps queued).
+            # at the first request the policy keeps queued).  The head is
+            # excluded from the backlog its own decision sees (both the
+            # aggregate length and its class's count); a QUEUE verdict puts
+            # it back.
             while queue:
+                head = queue[0]
+                self._queue_class_counts[head.service_class] -= 1
                 snapshot = self._derive_snapshot(step, len(queue) - 1, snapshot)
-                verdict = self.admission.decide(queue[0], snapshot)
+                verdict = self._resolve_verdict(
+                    self.admission.decide(head, snapshot), snapshot
+                )
                 if verdict is AdmissionVerdict.QUEUE:
+                    self._queue_class_counts[head.service_class] += 1
                     break
                 event = queue.popleft()
                 if verdict is AdmissionVerdict.ADMIT:
@@ -431,7 +526,9 @@ class ClusterOrchestrator:
                 arrivals += 1
                 step_arrivals += 1
                 snapshot = self._derive_snapshot(step, len(queue), snapshot)
-                verdict = self.admission.decide(event, snapshot)
+                verdict = self._resolve_verdict(
+                    self.admission.decide(event, snapshot), snapshot
+                )
                 if verdict is AdmissionVerdict.ADMIT:
                     index = self._dispatch(event, snapshot)
                     snapshot = self._bump_server(snapshot, index)
@@ -439,6 +536,9 @@ class ClusterOrchestrator:
                     queue_waits.append(0)
                 elif verdict is AdmissionVerdict.QUEUE:
                     queue.append(event)
+                    self._queue_class_counts[event.service_class] = (
+                        self._queue_class_counts.get(event.service_class, 0) + 1
+                    )
                 else:
                     rejected += 1
 
@@ -446,19 +546,31 @@ class ClusterOrchestrator:
                 self._autoscale(step, step_arrivals, len(queue), allow_grow=True)
             frames, violations = self._advance(step)
             self._record_fleet_sample(
-                step, step_arrivals, len(queue), frames, violations
+                step, step_arrivals, len(queue), frames, violations, step_dropped
             )
 
         steps = duration
+        # Admission closes with the arrival window, so brownout — which
+        # only shapes the admission of *new* sessions — ends with it: the
+        # drain-tail fleet trace records level 0, consistent with the
+        # ``brownout_steps`` counter that stopped with the window.
+        self._brownout_level = 0
         if drain:
             while any(slot.active_count > 0 for slot in self._live):
                 if max_drain_steps is not None and steps - duration >= max_drain_steps:
                     break
                 self._update_fleet(steps)
                 if self.autoscaler is not None:
-                    self._autoscale(steps, 0, len(queue), allow_grow=False)
+                    # Admission is closed: the leftover queue can never be
+                    # served, so the autoscaler sees an effective queue of 0
+                    # — a backlog nobody will admit must not block "scale
+                    # down only when the queue is empty" rules and keep
+                    # idle servers powered through the whole tail.
+                    self._autoscale(
+                        steps, 0, 0, allow_grow=False, draining_tail=True
+                    )
                 frames, violations = self._advance(steps)
-                self._record_fleet_sample(steps, 0, len(queue), frames, violations)
+                self._record_fleet_sample(steps, 0, len(queue), frames, violations, 0)
                 steps += 1
 
         return ClusterResult(
@@ -478,9 +590,45 @@ class ClusterOrchestrator:
             steps=steps,
             scaling_events=tuple(self._scaling_events),
             fleet_trace=tuple(self._fleet_trace),
+            dropped=dropped,
+            degraded_sessions=self._degraded,
+            brownout_steps=self._brownout_steps,
         )
 
     # -- internals ---------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_verdict(
+        verdict: AdmissionVerdict, snapshot: ClusterSnapshot
+    ) -> AdmissionVerdict:
+        """The verdict the orchestrator executes.
+
+        An ``ADMIT`` with zero dispatchable servers (the whole fleet warming
+        or draining through a scaling transient) has nowhere to go: hold the
+        request instead of crashing dispatch.  The shipped policies already
+        answer ``QUEUE``/``REJECT`` in that state; this backstop covers
+        :class:`~repro.cluster.admission.AlwaysAdmit` and custom policies.
+        """
+        if verdict is AdmissionVerdict.ADMIT and not snapshot.servers:
+            return AdmissionVerdict.QUEUE
+        return verdict
+
+    def _age_queue(self, queue: deque[WorkloadEvent], step: int) -> int:
+        """Drop queued requests past their patience deadline; returns the count."""
+        if not queue:
+            return 0
+        kept = []
+        expired = 0
+        for event in queue:
+            if event.expired(step):
+                expired += 1
+                self._queue_class_counts[event.service_class] -= 1
+            else:
+                kept.append(event)
+        if expired:
+            queue.clear()
+            queue.extend(kept)
+        return expired
 
     def _dispatch(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
         """Route an admitted event using the snapshot its admission saw
@@ -492,12 +640,20 @@ class ClusterOrchestrator:
                 f"{self.dispatcher.name} chose server {index} "
                 f"of a {len(snapshot.servers)}-server dispatchable fleet"
             )
-        controller = self.controller_factory(
-            event.request, self.seed + self._admitted
-        )
+        request = event.request
+        factory = self.controller_factory
+        if self._brownout_level > 0 and self.brownout is not None:
+            # The brownout bargain: served, but degraded.  The relaxed
+            # request is used for the session too, so QoS accounting holds
+            # the fleet to the target the user actually got.
+            request = self.brownout.degrade_request(request)
+            if self.brownout.degraded_factory is not None:
+                factory = self.brownout.degraded_factory
+            self._degraded += 1
+        controller = factory(request, self.seed + self._admitted)
         self._admitted += 1
         session = TranscodingSession(
-            request=event.request,
+            request=request,
             controller=controller,
             playlist=event.playlist,
         )
@@ -527,7 +683,12 @@ class ClusterOrchestrator:
             self._refresh_fleet_views()
 
     def _autoscale(
-        self, step: int, arrivals: int, queue_length: int, allow_grow: bool
+        self,
+        step: int,
+        arrivals: int,
+        queue_length: int,
+        allow_grow: bool,
+        draining_tail: bool = False,
     ) -> None:
         """Consult the policy and execute its (clamped) fleet-size target."""
         warming = sum(1 for s in self._live if s.state == _WARMING)
@@ -542,6 +703,7 @@ class ClusterOrchestrator:
             draining_servers=draining,
             min_servers=self.min_servers,
             max_servers=self.max_servers,
+            draining_tail=draining_tail,
         )
         decision = self.autoscaler.decide(signals)
         target = min(max(decision.target_servers, self.min_servers), self.max_servers)
@@ -672,7 +834,13 @@ class ClusterOrchestrator:
         return frames, violations
 
     def _record_fleet_sample(
-        self, step: int, arrivals: int, queue_length: int, frames: int, violations: int
+        self,
+        step: int,
+        arrivals: int,
+        queue_length: int,
+        frames: int,
+        violations: int,
+        dropped: int,
     ) -> None:
         self._fleet_trace.append(
             FleetSample(
@@ -690,5 +858,7 @@ class ClusterOrchestrator:
                 active_sessions=sum(slot.active_count for slot in self._live),
                 frames=frames,
                 qos_violations=violations,
+                dropped=dropped,
+                brownout_level=self._brownout_level,
             )
         )

@@ -10,7 +10,7 @@ test in isolation and impossible to corrupt the fleet from.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator
+from typing import Iterator, Mapping, Optional
 
 __all__ = ["ServerSnapshot", "ClusterSnapshot"]
 
@@ -82,20 +82,59 @@ class ClusterSnapshot:
     step:
         Cluster step at which the snapshot was taken.
     servers:
-        Per-server snapshots, indexed by server position.
+        Per-server snapshots of the *dispatchable* fleet, indexed by server
+        position.
     queue_length:
         Requests currently waiting in the admission queue.
+    queue_by_class:
+        Queued requests broken down by service class (empty when nothing is
+        queued or the breakdown was not taken) — what lets per-class SLAs
+        bound each class's backlog independently instead of interfering
+        through the shared aggregate.
     power_cap_w:
         Fleet-wide power budget admission policies may enforce.
+    offline_power_w:
+        Package power currently drawn by servers that are powered on but not
+        dispatchable (warming through their provisioning delay or draining
+        toward decommission).  Those machines share the fleet's power budget
+        even though they take no new sessions, so the cap projections below
+        include this draw.
+    warming_servers:
+        Commissioned servers still inside their provisioning warm-up —
+        capacity that is *about to* exist.
+    warming_ready_in:
+        Steps until the soonest warming server becomes dispatchable
+        (``None`` when nothing is warming).
+    brownout_level:
+        Fleet-wide degradation level set by the
+        :class:`~repro.cluster.brownout.BrownoutController` (0 = normal
+        operation).  Admission policies may trade quality for capacity when
+        it is raised.
     """
 
     step: int
     servers: tuple[ServerSnapshot, ...]
     queue_length: int
     power_cap_w: float
+    offline_power_w: float = 0.0
+    warming_servers: int = 0
+    warming_ready_in: Optional[int] = None
+    brownout_level: int = 0
+    queue_by_class: Mapping[str, int] = dataclasses.field(default_factory=dict)
 
     def __iter__(self) -> Iterator[ServerSnapshot]:
         return iter(self.servers)
+
+    def class_queue_length(self, service_class: str) -> int:
+        """Queued requests of one service class.
+
+        Falls back to the aggregate ``queue_length`` when no per-class
+        breakdown was recorded (hand-built snapshots) — a non-empty queue
+        recorded by the orchestrator always carries one.
+        """
+        if not self.queue_by_class:
+            return self.queue_length
+        return self.queue_by_class.get(service_class, 0)
 
     @property
     def num_servers(self) -> int:
@@ -108,9 +147,20 @@ class ClusterSnapshot:
         return sum(server.active_sessions for server in self.servers)
 
     @property
-    def fleet_power_w(self) -> float:
-        """Sum of the servers' most recent package powers."""
+    def dispatchable_power_w(self) -> float:
+        """Sum of the dispatchable servers' most recent package powers."""
         return sum(server.last_power_w for server in self.servers)
+
+    @property
+    def fleet_power_w(self) -> float:
+        """Most recent package power of *every* powered-on server.
+
+        Includes ``offline_power_w`` — warming and draining servers draw
+        real power against the same budget even though they take no new
+        sessions, so a cap-enforcing policy that ignored them would
+        overshoot the fleet budget during every scaling transient.
+        """
+        return self.dispatchable_power_w + self.offline_power_w
 
     @property
     def fleet_idle_power_w(self) -> float:
@@ -133,7 +183,7 @@ class ClusterSnapshot:
         falling back to ``fallback_w`` when nothing was measured running.
         """
         measured = self.total_last_active_sessions
-        busy_w = self.fleet_power_w - self.fleet_idle_power_w
+        busy_w = self.dispatchable_power_w - self.fleet_idle_power_w
         if measured > 0 and busy_w > 0:
             return busy_w / measured
         return fallback_w
@@ -143,7 +193,9 @@ class ClusterSnapshot:
 
         Fleet-level analogue of :meth:`ServerSnapshot.projected_power_w`:
         without it, a burst arriving within one step would be evaluated
-        wholesale against a stale fleet-power reading.
+        wholesale against a stale fleet-power reading.  Starts from
+        :attr:`fleet_power_w`, so warming/draining servers' draw counts
+        against the cap.
         """
         marginal_w = self.marginal_session_power_w(fallback_marginal_w)
         unmeasured = max(0, self.total_active_sessions - self.total_last_active_sessions)

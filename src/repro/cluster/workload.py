@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import math
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -153,16 +153,47 @@ class WorkloadEvent:
         The transcoding request (user id, first video, FPS/bandwidth targets).
     playlist:
         Videos the session transcodes back-to-back (first is the request's).
+    patience_steps:
+        How many steps the user will wait in the admission queue before
+        giving up.  ``None`` means infinite patience (the pre-overload
+        behavior); queued requests past their patience are *dropped* by the
+        cluster orchestrator, a ledger entry distinct from rejections.
+    service_class:
+        Label admission SLAs key on (stamped by the workload generator;
+        defaults to the request's resolution class, e.g. ``"HR"``).
     """
 
     arrival_step: int
     request: TranscodingRequest
     playlist: tuple[VideoSequence, ...]
+    patience_steps: Optional[int] = None
+    service_class: str = ""
+
+    def __post_init__(self) -> None:
+        if self.patience_steps is not None and self.patience_steps < 0:
+            raise ClusterError(
+                f"patience_steps must be >= 0, got {self.patience_steps}"
+            )
+        if not self.service_class:
+            object.__setattr__(
+                self, "service_class", self.request.resolution_class.value
+            )
 
     @property
     def total_frames(self) -> int:
         """Frames across the whole playlist."""
         return sum(len(video) for video in self.playlist)
+
+    @property
+    def deadline_step(self) -> Optional[int]:
+        """Last step at which the request may still be admitted."""
+        if self.patience_steps is None:
+            return None
+        return self.arrival_step + self.patience_steps
+
+    def expired(self, step: int) -> bool:
+        """True once the request has waited past its patience."""
+        return self.patience_steps is not None and step > self.deadline_step
 
 
 class WorkloadGenerator:
@@ -183,6 +214,12 @@ class WorkloadGenerator:
         Length of every generated video.
     target_fps, bandwidth_mbps:
         QoS targets stamped on every request.
+    patience_steps:
+        Queue patience stamped on every event (``None`` = wait forever).
+    patience_by_class:
+        Per-:class:`~repro.video.sequence.ResolutionClass` patience
+        overriding ``patience_steps`` — e.g. give HR premieres a deep
+        deadline while LR traffic abandons quickly.
     """
 
     def __init__(
@@ -194,6 +231,8 @@ class WorkloadGenerator:
         frames_per_video: int = 72,
         target_fps: float = TARGET_FPS,
         bandwidth_mbps: float = DEFAULT_BANDWIDTH_MBPS,
+        patience_steps: Optional[int] = None,
+        patience_by_class: Optional[Mapping[ResolutionClass, Optional[int]]] = None,
     ) -> None:
         if not 0.0 <= hr_fraction <= 1.0:
             raise ClusterError(f"hr_fraction must be in [0, 1], got {hr_fraction}")
@@ -203,6 +242,10 @@ class WorkloadGenerator:
             raise ClusterError(
                 f"frames_per_video must be >= 1, got {frames_per_video}"
             )
+        if patience_steps is not None and patience_steps < 0:
+            raise ClusterError(
+                f"patience_steps must be >= 0, got {patience_steps}"
+            )
         self.traffic = traffic
         self.seed = int(seed)
         self.hr_fraction = float(hr_fraction)
@@ -210,6 +253,10 @@ class WorkloadGenerator:
         self.frames_per_video = int(frames_per_video)
         self.target_fps = float(target_fps)
         self.bandwidth_mbps = float(bandwidth_mbps)
+        self.patience_steps = patience_steps
+        self.patience_by_class = (
+            dict(patience_by_class) if patience_by_class is not None else {}
+        )
         self._rng = np.random.default_rng(self.seed)
         self._next_user = 0
         self._consumed = False
@@ -268,4 +315,11 @@ class WorkloadGenerator:
             target_fps=self.target_fps,
             bandwidth_mbps=self.bandwidth_mbps,
         )
-        return WorkloadEvent(arrival_step=step, request=request, playlist=playlist)
+        patience = self.patience_by_class.get(resolution_class, self.patience_steps)
+        return WorkloadEvent(
+            arrival_step=step,
+            request=request,
+            playlist=playlist,
+            patience_steps=patience,
+            service_class=resolution_class.value,
+        )

@@ -147,6 +147,12 @@ class FleetSample:
         Frames transcoded fleet-wide during the step.
     qos_violations:
         Frames of the step processed below their session's FPS target.
+    dropped:
+        Queued requests dropped this step after aging past their patience
+        deadline.
+    brownout_level:
+        Fleet-wide quality-degradation level in force during the step
+        (0 = normal operation).
     """
 
     step: int
@@ -159,3 +165,5 @@ class FleetSample:
     active_sessions: int
     frames: int
     qos_violations: int
+    dropped: int = 0
+    brownout_level: int = 0

@@ -95,6 +95,59 @@ class TestCommands:
         assert "fleet power (W)" in output
         assert "srv-0" in output and "srv-1" in output
 
+    def test_cluster_brownout_prints_overload_metrics(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--servers",
+                "1",
+                "--traffic",
+                "flash",
+                "--arrival-rate",
+                "0.8",
+                "--duration",
+                "30",
+                "--frames-per-video",
+                "10",
+                "--patience",
+                "4",
+                "--brownout",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "dropped (patience)" in output
+        assert "shed rate" in output
+        assert "brownout steps" in output
+        assert "degraded sessions" in output
+
+    def test_cluster_class_aware_admission_runs(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--servers",
+                "2",
+                "--admission",
+                "class-aware",
+                "--hr-max-queue",
+                "20",
+                "--lr-max-queue",
+                "2",
+                "--lr-patience",
+                "3",
+                "--queue-while-warming",
+                "--duration",
+                "20",
+                "--frames-per-video",
+                "8",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "class-aware admission" in output
+
     def test_cluster_autoscale_prints_elasticity_metrics(self, capsys):
         assert main(
             [

@@ -1,0 +1,667 @@
+"""Overload control: queue aging, per-class SLAs, brownout, and the
+admission/power-accounting fixes for scaling transients (ISSUE 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AdmissionVerdict,
+    AlwaysAdmit,
+    BrownoutController,
+    CapacityThreshold,
+    ClassAwareAdmission,
+    ClusterOrchestrator,
+    ClusterSnapshot,
+    FlashCrowdTraffic,
+    PoissonTraffic,
+    PowerHeadroom,
+    QueueWhileWarming,
+    ReactiveThreshold,
+    ServerSnapshot,
+    WorkloadGenerator,
+)
+from repro.cluster.admission import AdmissionPolicy
+from repro.errors import ClusterError
+from repro.manager.factories import static_factory
+from repro.video.sequence import ResolutionClass
+
+
+def make_snapshot(
+    *,
+    active_per_server=(0, 0),
+    queue_length=0,
+    last_power_w=40.0,
+    idle_power_w=20.0,
+    power_cap_w=None,
+    offline_power_w=0.0,
+    warming_servers=0,
+    warming_ready_in=None,
+    brownout_level=0,
+    queue_by_class=None,
+):
+    servers = tuple(
+        ServerSnapshot(
+            server_index=i,
+            active_sessions=active,
+            last_power_w=last_power_w,
+            sessions_dispatched=active,
+            idle_power_w=idle_power_w,
+            last_active_sessions=active,
+        )
+        for i, active in enumerate(active_per_server)
+    )
+    return ClusterSnapshot(
+        step=0,
+        servers=servers,
+        queue_length=queue_length,
+        power_cap_w=(
+            power_cap_w if power_cap_w is not None else 100.0 * max(1, len(servers))
+        ),
+        offline_power_w=offline_power_w,
+        warming_servers=warming_servers,
+        warming_ready_in=warming_ready_in,
+        brownout_level=brownout_level,
+        queue_by_class=queue_by_class if queue_by_class is not None else {},
+    )
+
+
+def make_event(resolution_class=ResolutionClass.HR, patience=None, seed=0):
+    generator = WorkloadGenerator(
+        PoissonTraffic(1.0),
+        seed=seed,
+        hr_fraction=1.0 if resolution_class is ResolutionClass.HR else 0.0,
+        frames_per_video=4,
+        patience_steps=patience,
+    )
+    while True:
+        events = generator.arrivals(0)
+        if events:
+            return events[0]
+
+
+def make_cluster(
+    engine="batch",
+    *,
+    servers=1,
+    traffic=None,
+    admission=None,
+    patience=None,
+    patience_by_class=None,
+    brownout=None,
+    frames_per_video=20,
+    seed=1,
+    autoscaler=None,
+    max_servers=None,
+    warmup=2,
+):
+    workload = WorkloadGenerator(
+        traffic if traffic is not None else PoissonTraffic(1.0),
+        seed=seed,
+        frames_per_video=frames_per_video,
+        patience_steps=patience,
+        patience_by_class=patience_by_class,
+    )
+    return ClusterOrchestrator(
+        servers,
+        workload,
+        admission=admission,
+        controller_factory=static_factory(qp=32, threads=4, frequency_ghz=3.2),
+        seed=seed,
+        engine=engine,
+        autoscaler=autoscaler,
+        max_servers=max_servers,
+        provision_warmup_steps=warmup,
+        brownout=brownout,
+    )
+
+
+def overload_traffic():
+    return FlashCrowdTraffic(0.3, peak_multiplier=6.0, start=5, duration=10)
+
+
+class TestWorkloadPatience:
+    def test_events_carry_patience_and_class(self):
+        event = make_event(ResolutionClass.HR, patience=5)
+        assert event.patience_steps == 5
+        assert event.deadline_step == event.arrival_step + 5
+        assert event.service_class == "HR"
+
+    def test_expiry_semantics(self):
+        event = make_event(patience=3)
+        assert not event.expired(event.arrival_step + 3)
+        assert event.expired(event.arrival_step + 4)
+
+    def test_infinite_patience_never_expires(self):
+        event = make_event(patience=None)
+        assert event.deadline_step is None
+        assert not event.expired(10_000)
+
+    def test_per_class_patience_overrides_default(self):
+        generator = WorkloadGenerator(
+            PoissonTraffic(2.0),
+            seed=0,
+            frames_per_video=4,
+            patience_steps=10,
+            patience_by_class={ResolutionClass.LR: 2},
+        )
+        events = generator.generate(30)
+        by_class = {e.request.resolution_class: e.patience_steps for e in events}
+        assert by_class[ResolutionClass.HR] == 10
+        assert by_class[ResolutionClass.LR] == 2
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ClusterError):
+            WorkloadGenerator(PoissonTraffic(1.0), patience_steps=-1)
+
+
+class TestQueueAging:
+    def overloaded(self, **kwargs):
+        return make_cluster(
+            traffic=overload_traffic(),
+            admission=CapacityThreshold(max_sessions_per_server=2, max_queue=12),
+            **kwargs,
+        )
+
+    def test_dropped_ledger_is_complete(self):
+        result = self.overloaded(patience=3).run(30)
+        assert result.dropped > 0
+        assert (
+            result.arrivals
+            == result.admitted + result.rejected + result.dropped + result.abandoned
+        )
+
+    def test_queue_waits_exclude_dropped_and_respect_patience(self):
+        result = self.overloaded(patience=3).run(30)
+        assert len(result.queue_waits) == result.admitted
+        assert all(wait <= 3 for wait in result.queue_waits)
+
+    def test_no_patience_means_no_drops(self):
+        result = self.overloaded(patience=None).run(30)
+        assert result.dropped == 0
+
+    def test_fleet_trace_records_drops(self):
+        result = self.overloaded(patience=3).run(30)
+        assert sum(s.dropped for s in result.fleet_trace) == result.dropped
+
+    def test_summary_carries_drop_metrics(self):
+        summary = self.overloaded(patience=3).run(30).summary()
+        assert summary.dropped > 0
+        assert summary.shed_rate == pytest.approx(
+            (summary.rejected + summary.dropped + summary.abandoned)
+            / summary.arrivals
+        )
+
+
+class _RejectAll(AdmissionPolicy):
+    def decide(self, event, snapshot):
+        return AdmissionVerdict.REJECT
+
+
+class TestClassAwareAdmission:
+    def test_routes_by_resolution_class(self):
+        policy = ClassAwareAdmission(
+            {
+                ResolutionClass.HR: AlwaysAdmit(),
+                ResolutionClass.LR: _RejectAll(),
+            }
+        )
+        snapshot = make_snapshot()
+        hr = make_event(ResolutionClass.HR)
+        lr = make_event(ResolutionClass.LR)
+        assert policy.decide(hr, snapshot) is AdmissionVerdict.ADMIT
+        assert policy.decide(lr, snapshot) is AdmissionVerdict.REJECT
+
+    def test_default_policy_serves_unmapped_classes(self):
+        policy = ClassAwareAdmission(
+            {ResolutionClass.HR: _RejectAll()}, default=AlwaysAdmit()
+        )
+        assert (
+            policy.decide(make_event(ResolutionClass.LR), make_snapshot())
+            is AdmissionVerdict.ADMIT
+        )
+
+    def test_protects_hr_while_lr_sheds_end_to_end(self):
+        def run(admission):
+            cluster = make_cluster(
+                traffic=overload_traffic(),
+                admission=admission,
+                patience=4,
+                seed=3,
+            )
+            result = cluster.run(30)
+            served = {
+                record[0].resolution_class
+                for server in result.records_by_server
+                for record in server.values()
+            }
+            return result, served
+
+        protected, classes = run(
+            ClassAwareAdmission(
+                {
+                    ResolutionClass.HR: CapacityThreshold(
+                        max_sessions_per_server=2, max_queue=12
+                    ),
+                    ResolutionClass.LR: _RejectAll(),
+                }
+            )
+        )
+        assert classes == {ResolutionClass.HR}
+        assert protected.rejected > 0  # the LR traffic was shed at the door
+
+    def test_one_class_backlog_cannot_eat_anothers_queue_budget(self):
+        # 5 HR requests queued, 0 LR: each class's SLA is judged against
+        # its own backlog, not the shared aggregate.
+        policy = ClassAwareAdmission(
+            {
+                ResolutionClass.HR: CapacityThreshold(
+                    max_sessions_per_server=1, max_queue=4
+                ),
+                ResolutionClass.LR: CapacityThreshold(
+                    max_sessions_per_server=1, max_queue=4
+                ),
+            }
+        )
+        snapshot = make_snapshot(
+            active_per_server=(1, 1),
+            queue_length=5,
+            queue_by_class={"HR": 5},
+        )
+        assert (
+            policy.decide(make_event(ResolutionClass.LR), snapshot)
+            is AdmissionVerdict.QUEUE
+        )
+        assert (
+            policy.decide(make_event(ResolutionClass.HR), snapshot)
+            is AdmissionVerdict.REJECT
+        )
+
+    def test_class_queue_breakdown_recorded_end_to_end(self):
+        cluster = make_cluster(
+            traffic=overload_traffic(),
+            admission=CapacityThreshold(max_sessions_per_server=1, max_queue=12),
+            seed=3,
+        )
+        result = cluster.run(20, drain=False)
+        assert result.abandoned > 0  # the run really left a backlog behind
+        snapshot = cluster.snapshot(step=20, queue_length=result.abandoned)
+        assert sum(snapshot.queue_by_class.values()) == result.abandoned
+        assert snapshot.class_queue_length("HR") + snapshot.class_queue_length(
+            "LR"
+        ) == result.abandoned
+
+    def test_needs_at_least_one_policy(self):
+        with pytest.raises(ClusterError):
+            ClassAwareAdmission({})
+
+    def test_name_lists_sub_policies(self):
+        policy = ClassAwareAdmission({ResolutionClass.HR: AlwaysAdmit()})
+        assert "HR=AlwaysAdmit" in policy.name
+
+
+class TestQueueWhileWarming:
+    def test_softens_reject_while_capacity_is_warming(self):
+        policy = QueueWhileWarming(_RejectAll(), max_queue=8)
+        warming = make_snapshot(warming_servers=2, warming_ready_in=1)
+        assert policy.decide(make_event(), warming) is AdmissionVerdict.QUEUE
+
+    def test_reject_stands_without_warming_capacity(self):
+        policy = QueueWhileWarming(_RejectAll(), max_queue=8)
+        assert policy.decide(make_event(), make_snapshot()) is AdmissionVerdict.REJECT
+
+    def test_reject_stands_once_the_queue_is_full(self):
+        policy = QueueWhileWarming(_RejectAll(), max_queue=2)
+        snapshot = make_snapshot(
+            warming_servers=1, warming_ready_in=1, queue_length=2
+        )
+        assert policy.decide(make_event(), snapshot) is AdmissionVerdict.REJECT
+
+    def test_horizon_bounds_the_wait(self):
+        policy = QueueWhileWarming(_RejectAll(), max_queue=8, horizon_steps=2)
+        near = make_snapshot(warming_servers=1, warming_ready_in=2)
+        far = make_snapshot(warming_servers=1, warming_ready_in=5)
+        assert policy.decide(make_event(), near) is AdmissionVerdict.QUEUE
+        assert policy.decide(make_event(), far) is AdmissionVerdict.REJECT
+
+    def test_admit_and_queue_pass_through(self):
+        policy = QueueWhileWarming(AlwaysAdmit())
+        snapshot = make_snapshot(warming_servers=1, warming_ready_in=1)
+        assert policy.decide(make_event(), snapshot) is AdmissionVerdict.ADMIT
+
+    def test_fewer_rejections_end_to_end(self):
+        def run(admission):
+            cluster = make_cluster(
+                traffic=overload_traffic(),
+                admission=admission,
+                autoscaler=ReactiveThreshold(sessions_per_server=4),
+                servers=1,
+                max_servers=6,
+                warmup=3,
+                seed=5,
+            )
+            return cluster.run(30)
+
+        strict = run(CapacityThreshold(max_sessions_per_server=4, max_queue=2))
+        softened = run(
+            QueueWhileWarming(
+                CapacityThreshold(max_sessions_per_server=4, max_queue=2)
+            )
+        )
+        assert strict.rejected > 0
+        assert softened.rejected < strict.rejected
+        assert softened.admitted > strict.admitted
+
+
+class TestBrownoutHysteresis:
+    def controller(self, **kwargs):
+        defaults = dict(
+            enter_queue_per_server=2.0,
+            exit_queue_per_server=0.5,
+            enter_utilization=0.95,
+            exit_utilization=0.5,
+            sessions_per_server=4,
+            enter_steps=3,
+            exit_steps=2,
+        )
+        defaults.update(kwargs)
+        return BrownoutController(**defaults)
+
+    def test_enters_only_after_sustained_pressure(self):
+        controller = self.controller()
+        hot = make_snapshot(active_per_server=(4, 4), queue_length=8)
+        assert controller.observe(hot) == 0
+        assert controller.observe(hot) == 0
+        assert controller.observe(hot) == 1
+        assert controller.active
+
+    def test_single_hot_step_does_not_trigger(self):
+        controller = self.controller()
+        hot = make_snapshot(active_per_server=(4, 4), queue_length=8)
+        calm = make_snapshot(active_per_server=(1, 1))
+        controller.observe(hot)
+        controller.observe(hot)
+        controller.observe(calm)  # streak broken
+        assert controller.observe(hot) == 0
+
+    def test_exits_only_after_sustained_calm(self):
+        controller = self.controller()
+        hot = make_snapshot(active_per_server=(4, 4), queue_length=8)
+        calm = make_snapshot(active_per_server=(1, 1))
+        for _ in range(3):
+            controller.observe(hot)
+        assert controller.active
+        assert controller.observe(calm) == 1  # one calm step is not enough
+        assert controller.observe(calm) == 0
+        assert not controller.active
+
+    def test_mid_band_holds_the_current_level(self):
+        controller = self.controller()
+        # Busy but not pressured, idle-ish but not calm: inside the band.
+        mid = make_snapshot(active_per_server=(3, 3), queue_length=3)
+        for _ in range(10):
+            assert controller.observe(mid) == 0
+        hot = make_snapshot(active_per_server=(4, 4), queue_length=8)
+        for _ in range(3):
+            controller.observe(hot)
+        for _ in range(10):
+            assert controller.observe(mid) == 1
+
+    def test_degrade_request_relaxes_the_fps_target(self):
+        controller = self.controller(fps_relax=0.5)
+        request = make_event().request
+        degraded = controller.degrade_request(request)
+        assert degraded.target_fps == pytest.approx(request.target_fps * 0.5)
+        assert degraded.user_id == request.user_id
+
+    def test_parameters_validated(self):
+        with pytest.raises(ClusterError):
+            BrownoutController(enter_queue_per_server=1.0, exit_queue_per_server=2.0)
+        with pytest.raises(ClusterError):
+            BrownoutController(enter_utilization=0.5, exit_utilization=0.6)
+        with pytest.raises(ClusterError):
+            BrownoutController(fps_relax=0.0)
+        with pytest.raises(ClusterError):
+            BrownoutController(enter_steps=0)
+
+
+class TestBrownoutOrchestration:
+    def run_pair(self):
+        admission = lambda extra: CapacityThreshold(
+            max_sessions_per_server=2, max_queue=12, brownout_extra_sessions=extra
+        )
+        baseline = make_cluster(
+            traffic=overload_traffic(), admission=admission(0), patience=4
+        ).run(30)
+        browned = make_cluster(
+            traffic=overload_traffic(),
+            admission=admission(6),
+            patience=4,
+            brownout=BrownoutController(
+                sessions_per_server=2,
+                enter_steps=2,
+                exit_steps=4,
+                fps_relax=0.6,
+                degraded_factory=static_factory(qp=40, threads=2, frequency_ghz=3.2),
+            ),
+        ).run(30)
+        return baseline, browned
+
+    def test_brownout_trades_shedding_for_degradation(self):
+        baseline, browned = self.run_pair()
+        shed = lambda r: r.rejected + r.dropped + r.abandoned
+        assert shed(baseline) > 0
+        assert shed(browned) < shed(baseline)
+        assert browned.degraded_sessions > 0
+        assert browned.brownout_steps > 0
+
+    def test_degraded_sessions_use_the_degraded_factory(self):
+        _, browned = self.run_pair()
+        qps = {
+            record.qp
+            for server in browned.records_by_server
+            for session in server.values()
+            for record in session
+        }
+        assert qps == {32, 40}
+
+    def test_brownout_level_recorded_in_fleet_trace(self):
+        _, browned = self.run_pair()
+        levels = [s.brownout_level for s in browned.fleet_trace]
+        assert 1 in levels
+        # The trace and the summary counter agree exactly: brownout ends
+        # with the arrival window (admission is closed during the drain
+        # tail, so there is nothing left to degrade).
+        assert sum(1 for level in levels if level > 0) == browned.brownout_steps
+
+    def test_acceptance_brownout_serves_everyone_where_baseline_sheds(self):
+        """ISSUE 4: the flash-crowd claim pinned by bench_overload.py."""
+
+        def run(brownout, extra):
+            return make_cluster(
+                servers=2,
+                seed=0,
+                traffic=FlashCrowdTraffic(
+                    0.25, peak_multiplier=6.0, start=10, duration=10
+                ),
+                frames_per_video=12,
+                admission=CapacityThreshold(
+                    max_sessions_per_server=4,
+                    max_queue=48,
+                    brownout_extra_sessions=extra,
+                ),
+                patience=8,
+                brownout=brownout,
+            ).run(35)
+
+        baseline = run(None, 0)
+        browned = run(
+            BrownoutController(
+                sessions_per_server=4,
+                enter_queue_per_server=2.0,
+                enter_steps=2,
+                exit_steps=6,
+                fps_relax=0.75,
+                degraded_factory=static_factory(qp=40, threads=2, frequency_ghz=3.2),
+            ),
+            10,
+        )
+        assert baseline.rejected + baseline.dropped + baseline.abandoned > 0
+        assert browned.rejected == 0
+        assert browned.dropped == 0
+        assert browned.abandoned == 0
+        assert browned.admitted == browned.arrivals
+        assert browned.degraded_sessions > 0
+
+
+class TestOfflinePowerAccounting:
+    """ISSUE 4 satellite: warming/draining draw must reach the cap projection."""
+
+    def test_snapshot_fleet_power_includes_offline_draw(self):
+        online = make_snapshot(active_per_server=(2, 2))
+        transient = make_snapshot(active_per_server=(2, 2), offline_power_w=35.0)
+        assert transient.fleet_power_w == pytest.approx(online.fleet_power_w + 35.0)
+        assert transient.projected_power_w(25.0) == pytest.approx(
+            online.projected_power_w(25.0) + 35.0
+        )
+        # The marginal-session estimate reasons about dispatchable servers
+        # only; offline draw must not skew it.
+        assert transient.marginal_session_power_w(25.0) == pytest.approx(
+            online.marginal_session_power_w(25.0)
+        )
+
+    def test_orchestrator_reports_warming_draw_and_readiness(self):
+        cluster = make_cluster(
+            servers=2, warmup=3, autoscaler=ReactiveThreshold(sessions_per_server=4)
+        )
+        cluster._commission(2, step=0, provisioned=2, reason="test")
+        snapshot = cluster.snapshot(step=1, queue_length=0)
+        assert snapshot.num_servers == 2  # warming servers are not dispatchable
+        assert snapshot.warming_servers == 2
+        assert snapshot.warming_ready_in == 2  # ready at step 3, asked at step 1
+        assert snapshot.offline_power_w > 0.0
+        assert snapshot.fleet_power_w == pytest.approx(
+            snapshot.dispatchable_power_w + snapshot.offline_power_w
+        )
+
+    def test_power_headroom_sees_the_transient_draw(self):
+        policy = PowerHeadroom(watts_per_session_estimate=25.0)
+        # 2 servers at 40 W, cap 130 W: 80 + 25 + 25 fits -> ADMIT...
+        roomy = make_snapshot(active_per_server=(1, 1), power_cap_w=130.0)
+        assert policy.decide(make_event(), roomy) is AdmissionVerdict.ADMIT
+        # ...but not once a warming server's 35 W is on the meter.
+        transient = make_snapshot(
+            active_per_server=(1, 1), power_cap_w=130.0, offline_power_w=35.0
+        )
+        assert policy.decide(make_event(), transient) is AdmissionVerdict.QUEUE
+
+
+class TestZeroDispatchableServers:
+    """ISSUE 4 satellite: policies must not crash on an empty dispatchable fleet."""
+
+    def test_capacity_threshold_queues_then_rejects(self):
+        policy = CapacityThreshold(max_sessions_per_server=2, max_queue=2)
+        empty = make_snapshot(active_per_server=())
+        assert policy.decide(make_event(), empty) is AdmissionVerdict.QUEUE
+        full = make_snapshot(active_per_server=(), queue_length=2)
+        assert policy.decide(make_event(), full) is AdmissionVerdict.REJECT
+
+    def test_power_headroom_queues_then_rejects(self):
+        policy = PowerHeadroom(max_queue=2)
+        empty = make_snapshot(active_per_server=(), power_cap_w=1000.0)
+        assert policy.decide(make_event(), empty) is AdmissionVerdict.QUEUE
+        full = make_snapshot(active_per_server=(), queue_length=2, power_cap_w=1000.0)
+        assert policy.decide(make_event(), full) is AdmissionVerdict.REJECT
+
+    def test_orchestrator_backstops_admit_into_an_empty_fleet(self):
+        # AlwaysAdmit (or any custom policy) may still answer ADMIT with
+        # zero dispatchable servers; the orchestrator holds the request
+        # instead of crashing dispatch.
+        cluster = make_cluster(admission=AlwaysAdmit())
+        empty = make_snapshot(active_per_server=())
+        assert (
+            cluster._resolve_verdict(AdmissionVerdict.ADMIT, empty)
+            is AdmissionVerdict.QUEUE
+        )
+        occupied = make_snapshot(active_per_server=(3,))
+        assert (
+            cluster._resolve_verdict(AdmissionVerdict.ADMIT, occupied)
+            is AdmissionVerdict.ADMIT
+        )
+
+
+class TestDrainTailAutoscale:
+    """ISSUE 4 satellite: an unservable leftover queue must not pin the fleet."""
+
+    def build(self, engine="batch"):
+        # Four servers, one session each at most (tight per-server bound),
+        # and a burst that leaves a queue admission will never serve: at the
+        # window's end ~3 sessions are mid-playlist and >= 4 requests are
+        # still queued.  Without the effective-queue fix, ReactiveThreshold
+        # keeps asking to scale *up* (blocked during the tail) and the idle
+        # fourth server stays powered for the entire drain.
+        return make_cluster(
+            engine,
+            servers=4,
+            seed=2,
+            traffic=FlashCrowdTraffic(3.0, peak_multiplier=1.0, start=0, duration=2),
+            frames_per_video=30,
+            admission=CapacityThreshold(max_sessions_per_server=1, max_queue=16),
+            autoscaler=ReactiveThreshold(
+                sessions_per_server=4, scale_down_cooldown_steps=2
+            ),
+            warmup=0,
+        )
+
+    def test_idle_servers_are_released_during_the_tail(self):
+        result = self.build().run(3)
+        assert result.abandoned >= 4  # the tail really had a dead backlog
+        tail_downs = [
+            e for e in result.scaling_events if e.direction == "down" and e.step >= 3
+        ]
+        assert tail_downs, "expected scale-downs during the drain tail"
+        # A released server stops sampling: its power trace is shorter than
+        # the run — that is the idle-power saving.
+        assert min(len(trace) for trace in result.samples_by_server) < result.steps
+
+    def test_draining_tail_equivalent_on_both_engines(self):
+        scalar = self.build("scalar").run(3)
+        batch = self.build("batch").run(3)
+        assert scalar.samples_by_server == batch.samples_by_server
+        assert scalar.scaling_events == batch.scaling_events
+        assert scalar.summary() == batch.summary()
+
+
+class TestEngineEquivalenceUnderOverload:
+    def build(self, engine):
+        return make_cluster(
+            engine,
+            servers=2,
+            traffic=overload_traffic(),
+            admission=CapacityThreshold(
+                max_sessions_per_server=2, max_queue=12, brownout_extra_sessions=4
+            ),
+            patience=4,
+            brownout=BrownoutController(
+                sessions_per_server=2,
+                enter_steps=2,
+                exit_steps=4,
+                fps_relax=0.6,
+                degraded_factory=static_factory(qp=40, threads=2, frequency_ghz=3.2),
+            ),
+        )
+
+    def test_drops_and_brownout_identical_on_both_engines(self):
+        scalar = self.build("scalar").run(30)
+        batch = self.build("batch").run(30)
+        assert scalar.dropped > 0 and scalar.degraded_sessions > 0
+        assert scalar.records_by_server == batch.records_by_server
+        assert scalar.samples_by_server == batch.samples_by_server
+        assert scalar.fleet_trace == batch.fleet_trace
+        assert scalar.queue_waits == batch.queue_waits
+        assert (
+            scalar.dropped,
+            scalar.degraded_sessions,
+            scalar.brownout_steps,
+        ) == (batch.dropped, batch.degraded_sessions, batch.brownout_steps)
+        assert scalar.summary() == batch.summary()
