@@ -158,6 +158,7 @@ class MonoAgentController(Controller):
             learning_rate_params=learning_params,
             seed=self.config.seed,
             exploration_epsilon=self.config.exploration_epsilon,
+            state_space=self.state_space,
         )
         self._current_index = self._initial_action_index(actions)
         self._pending: Optional[tuple[SystemState, int]] = None

@@ -8,19 +8,29 @@ That per-session Python work caps cluster experiments at tens of servers.
 The :class:`BatchStepper` replaces the per-session math with one fused NumPy
 evaluation per cluster step:
 
-1. **Gather** — every active session's controller is asked for its decision
-   (:meth:`~repro.manager.session.TranscodingSession.peek_decision`; Q-table
-   agents stay per-session so their exploration randomness and Q updates are
-   untouched), and the decisions plus per-frame content descriptors are
-   packed into contiguous struct-of-arrays buffers ordered server-major.
+1. **Gather** — every active session's next (QP, threads, frequency)
+   decision plus per-frame content descriptors are packed into contiguous
+   struct-of-arrays buffers ordered server-major.  Sessions running a stock
+   :class:`~repro.core.mamut.MamutController` are advanced by the vectorized
+   MAMUT driver (:class:`_MamutDriver` below): their observation windows
+   live in fleet-wide struct-of-arrays running sums, and on activation steps
+   the window averaging, :meth:`~repro.core.states.StateSpace.discretize_batch`
+   and :meth:`~repro.core.rewards.RewardFunction.total_batch` (exact mode)
+   run across every activating session in one shot before the grouped
+   per-agent Q updates and action selections are applied session by session
+   (each session's exploration RNG draws stay in its own scalar order).
+   Every other controller is asked per session via
+   :meth:`~repro.manager.session.TranscodingSession.peek_decision`.
 2. **Evaluate** — WPP speedup/efficiency, server thread allocation and
    contention, package power, decode/encode cycles and times, PSNR and
    bitrate are computed for the whole fleet in a handful of array
    expressions that mirror the scalar formulas operation for operation.
 3. **Scatter** — per-session results are written back through
    :meth:`~repro.manager.session.TranscodingSession.commit_step_result`
-   (producing the same ``FrameRecord``/``Observation`` objects the scalar
-   path creates) and one ``PowerSample`` per server is emitted.
+   (or :meth:`~repro.manager.session.TranscodingSession.commit_driven_step`
+   for driver-managed sessions; both produce the same
+   ``FrameRecord``/``Observation`` objects the scalar path creates) and one
+   ``PowerSample`` per server is emitted.
 
 **Equivalence guarantee.**  For the same ``(workload seed, policies, cluster
 seed)`` the batch engine produces *bitwise identical* results to the scalar
@@ -38,7 +48,10 @@ results: the in-memory DVFS driver mirror (``MulticoreServer``'s
 ``SessionDemand``/``ServerAllocation``/``TranscodeResult`` objects are never
 materialised.  The batch engine also assumes the stock analytic models:
 custom *parameters* are honoured (they are gathered per session), but
-subclasses that override model *methods* need the scalar engine.
+subclasses that override model *methods* need the scalar engine.  The same
+rule applies to controllers: exactly ``MamutController`` (not subclasses) is
+driven through the vectorized activation path, everything else falls back to
+the per-session ``peek_decision`` protocol.
 """
 
 from __future__ import annotations
@@ -48,7 +61,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.constants import TARGET_FPS
+from repro.core.mamut import MamutController
 from repro.core.observation import Observation
+from repro.core.states import SystemState
 from repro.errors import EncodingError
 from repro.hevc.params import QP_MAX, QP_MIN
 from repro.manager.orchestrator import Orchestrator
@@ -239,6 +254,336 @@ _STATIC_COLUMNS = (
     "delivery_fps",
 )
 
+#: Memoised per-schedule activation tables keyed by the schedule's slot
+#: triples: (hyper_period, agent names, frame % hyper -> local agent id | -1).
+_SCHEDULE_PATTERNS: dict[tuple, tuple[int, tuple[str, ...], np.ndarray]] = {}
+
+
+def _schedule_pattern(schedule) -> tuple[int, tuple[str, ...], np.ndarray]:
+    key = tuple((slot.name, slot.period, slot.offset) for slot in schedule.slots)
+    cached = _SCHEDULE_PATTERNS.get(key)
+    if cached is None:
+        names = schedule.agent_names
+        local = {name: i for i, name in enumerate(names)}
+        pattern = np.array(
+            [
+                local.get(schedule.agent_at(frame), -1)
+                for frame in range(schedule.hyper_period)
+            ],
+            dtype=np.int64,
+        )
+        cached = (schedule.hyper_period, names, pattern)
+        _SCHEDULE_PATTERNS[key] = cached
+    return cached
+
+
+class _MamutDriver:
+    """Fleet-wide vectorized activation engine for stock MAMUT controllers.
+
+    The scalar engine walks every MAMUT session's whole learning path in
+    Python each frame (window append, schedule lookup, averaging,
+    discretisation, reward, Eq. 3, Q update).  The driver keeps the
+    per-session observation windows as struct-of-arrays running sums and, on
+    activation steps, performs the averaging,
+    :meth:`~repro.core.states.StateSpace.discretize_batch` and
+    :meth:`~repro.core.rewards.RewardFunction.total_batch` (exact mode, so
+    rewards are bitwise those of the scalar path) across *all* activating
+    sessions at once — grouped by identical (state space, reward config)
+    parameters so heterogeneous fleets still vectorize.  The remaining
+    per-session work — the grouped-per-agent Q updates and the action
+    selection, whose exploration randomness must consume each session's RNG
+    in its own scalar order — goes through
+    :meth:`~repro.core.mamut.MamutController.apply_external_activation`.
+
+    The controllers' canonical window state (running sums + count) is
+    mirrored into the arrays here; :meth:`flush` writes it back so the state
+    survives roster rebuilds and stepper teardowns (fleet resizes rebuild
+    the whole stepper).
+    """
+
+    __slots__ = (
+        "positions",
+        "controllers",
+        "steps",
+        "win_fps",
+        "win_psnr",
+        "win_bitrate",
+        "win_power",
+        "win_count",
+        "pend_fps",
+        "pend_psnr",
+        "pend_bitrate",
+        "pend_power",
+        "pend_valid",
+        "qp",
+        "threads",
+        "freq",
+        "agent_names",
+        "schedule_groups",
+        "vgid",
+        "vector_members",
+        "state_interns",
+    )
+
+    def __init__(self, lanes: list[_SessionLane], positions: list[int]) -> None:
+        self.positions = np.array(positions, dtype=np.int64)
+        self.controllers: list[MamutController] = [
+            lanes[i].session.controller for i in positions
+        ]
+        count = len(positions)
+        self.steps = np.array(
+            [lanes[i].step_counter for i in positions], dtype=np.int64
+        )
+
+        windows = [ctl.observation_window() for ctl in self.controllers]
+        self.win_fps = np.array([w[0] for w in windows])
+        self.win_psnr = np.array([w[1] for w in windows])
+        self.win_bitrate = np.array([w[2] for w in windows])
+        self.win_power = np.array([w[3] for w in windows])
+        self.win_count = np.array([w[4] for w in windows], dtype=np.int64)
+
+        # The scalar engine folds a step's observation into the window at the
+        # *next* step's decide(); the driver mirrors that timing by stashing
+        # each step's results here and folding them at the next advance().
+        # Between steps a session's not-yet-folded observation is exactly
+        # session.last_observation (never yet in the controller's window), so
+        # a fresh driver — after a roster rebuild, a stepper teardown, or a
+        # stretch on the scalar engine — re-derives the stash from it.
+        last = [
+            lanes[i].session.last_observation for i in positions
+        ]
+        self.pend_valid = np.array(
+            [obs is not None for obs in last], dtype=bool
+        )
+        self.pend_fps = np.array(
+            [obs.fps if obs is not None else 0.0 for obs in last]
+        )
+        self.pend_psnr = np.array(
+            [obs.psnr_db if obs is not None else 0.0 for obs in last]
+        )
+        self.pend_bitrate = np.array(
+            [obs.bitrate_mbps if obs is not None else 0.0 for obs in last]
+        )
+        self.pend_power = np.array(
+            [obs.power_w if obs is not None else 0.0 for obs in last]
+        )
+
+        self.qp = np.empty(count, dtype=np.int64)
+        self.threads = np.empty(count, dtype=np.int64)
+        self.freq = np.empty(count)
+        for k, ctl in enumerate(self.controllers):
+            decision = ctl.current_decision()
+            self.qp[k] = decision.qp
+            self.threads[k] = decision.threads
+            self.freq[k] = decision.frequency_ghz
+
+        # Activation tables: lanes sharing a schedule are looked up together,
+        # with local agent ids remapped onto one fleet-wide name registry.
+        self.agent_names: list[str] = []
+        name_gid: dict[str, int] = {}
+        by_schedule: dict[tuple, list] = {}
+        for k, ctl in enumerate(self.controllers):
+            key = tuple(
+                (slot.name, slot.period, slot.offset)
+                for slot in ctl.schedule.slots
+            )
+            entry = by_schedule.get(key)
+            if entry is None:
+                hyper, names, pattern = _schedule_pattern(ctl.schedule)
+                gids = []
+                for name in names:
+                    gid = name_gid.get(name)
+                    if gid is None:
+                        gid = len(self.agent_names)
+                        name_gid[name] = gid
+                        self.agent_names.append(name)
+                    gids.append(gid)
+                global_pattern = np.full_like(pattern, -1)
+                scheduled = pattern >= 0
+                global_pattern[scheduled] = np.array(gids, dtype=np.int64)[
+                    pattern[scheduled]
+                ]
+                entry = [hyper, global_pattern, []]
+                by_schedule[key] = entry
+            entry[2].append(k)
+        self.schedule_groups = [
+            (np.array(members, dtype=np.int64), hyper, global_pattern)
+            for hyper, global_pattern, members in by_schedule.values()
+        ]
+
+        # Vector groups: lanes whose state space and reward parameters match
+        # share one discretize_batch / total_batch call per activation step.
+        self.vgid = np.empty(count, dtype=np.int64)
+        members_by_key: dict[tuple, int] = {}
+        self.vector_members: list[tuple] = []
+        for k, ctl in enumerate(self.controllers):
+            space = ctl.state_space
+            key = (
+                (
+                    space.fps_target,
+                    space.fps_edges,
+                    space.psnr_edges,
+                    space.bitrate_edges_mbps,
+                    space.power_cap_w,
+                ),
+                ctl.reward_function.config,
+            )
+            gid = members_by_key.get(key)
+            if gid is None:
+                gid = len(self.vector_members)
+                members_by_key[key] = gid
+                self.vector_members.append((space, ctl.reward_function))
+            self.vgid[k] = gid
+        # Interned SystemState per dense index, one pool per vector group:
+        # activations hitting a previously seen state reuse the object
+        # instead of re-constructing the frozen dataclass.
+        self.state_interns = [
+            [None] * space.size for space, _ in self.vector_members
+        ]
+
+    # -- per-step operation ------------------------------------------------------------
+
+    def advance(self) -> None:
+        """Run this step's activations (fleet-vectorized) before the gather."""
+        # Fold the previous step's observations into the windows — the
+        # array mirror of the scalar decide()'s append-then-activate order.
+        valid = self.pend_valid
+        if valid.all():
+            self.win_fps += self.pend_fps
+            self.win_psnr += self.pend_psnr
+            self.win_bitrate += self.pend_bitrate
+            self.win_power += self.pend_power
+            self.win_count += 1
+            self.pend_valid = np.zeros_like(valid)
+        elif valid.any():
+            self.win_fps[valid] += self.pend_fps[valid]
+            self.win_psnr[valid] += self.pend_psnr[valid]
+            self.win_bitrate[valid] += self.pend_bitrate[valid]
+            self.win_power[valid] += self.pend_power[valid]
+            self.win_count[valid] += 1
+            self.pend_valid = np.zeros_like(valid)
+
+        agent_id = np.full(len(self.controllers), -1, dtype=np.int64)
+        for members, hyper, pattern in self.schedule_groups:
+            agent_id[members] = pattern[self.steps[members] % hyper]
+        act = (agent_id >= 0) & (self.win_count > 0)
+        if not act.any():
+            return
+        pos = np.nonzero(act)[0]
+
+        # Window averaging: one division per component, on the running sums
+        # accumulated in arrival order — bitwise the scalar averages.
+        counts = self.win_count[pos]
+        avg_fps = self.win_fps[pos] / counts
+        avg_psnr = self.win_psnr[pos] / counts
+        avg_bitrate = self.win_bitrate[pos] / counts
+        avg_power = self.win_power[pos] / counts
+
+        rewards = np.empty(len(pos))
+        states: list = [None] * len(pos)
+        vgid = self.vgid[pos]
+        for gid, (space, reward_function) in enumerate(self.vector_members):
+            mask = vgid == gid
+            if not mask.any():
+                continue
+            bins = space.discretize_batch(
+                avg_fps[mask], avg_psnr[mask], avg_bitrate[mask], avg_power[mask]
+            )
+            rewards[mask] = reward_function.total_batch(
+                avg_fps[mask],
+                avg_psnr[mask],
+                avg_bitrate[mask],
+                avg_power[mask],
+                exact=True,
+            )
+            indices = space.state_index_batch(bins).tolist()
+            interns = self.state_interns[gid]
+            for offset, k in enumerate(np.nonzero(mask)[0]):
+                state_index = indices[offset]
+                state = interns[state_index]
+                if state is None:
+                    row = bins[offset]
+                    state = SystemState(
+                        int(row[0]), int(row[1]), int(row[2]), int(row[3])
+                    )
+                    interns[state_index] = state
+                states[k] = state
+
+        # Grouped per-agent Q updates + action selections.  Sessions only
+        # ever touch their own agents and RNGs, so the cross-session order
+        # is free; within each group lanes are visited in roster order.
+        act_ids = agent_id[pos]
+        for gid, name in enumerate(self.agent_names):
+            for k in np.nonzero(act_ids == gid)[0]:
+                j = int(pos[k])
+                controller = self.controllers[j]
+                controller.apply_external_activation(
+                    name, int(self.steps[j]), states[k], float(rewards[k])
+                )
+                decision = controller.current_decision()
+                self.qp[j] = decision.qp
+                self.threads[j] = decision.threads
+                self.freq[j] = decision.frequency_ghz
+
+        self.win_fps[pos] = 0.0
+        self.win_psnr[pos] = 0.0
+        self.win_bitrate[pos] = 0.0
+        self.win_power[pos] = 0.0
+        self.win_count[pos] = 0
+
+    def commit_observations(
+        self,
+        fps: np.ndarray,
+        psnr: np.ndarray,
+        bitrate: np.ndarray,
+        power: np.ndarray,
+        window_reset: np.ndarray,
+        finished: np.ndarray,
+    ) -> None:
+        """Stash this step's results for the next advance()'s window fold.
+
+        All arguments are full-lane arrays.  ``window_reset`` marks lanes
+        whose session moved to the next playlist video — their controller
+        was reset, so the live window clears now and the stashed observation
+        starts the fresh window at the next step (the scalar engine's order
+        of events).  ``finished`` marks sessions that just completed: their
+        controller never sees another observation, so nothing is stashed.
+        """
+        pos = self.positions
+        reset = window_reset[pos]
+        if reset.any():
+            self.win_fps[reset] = 0.0
+            self.win_psnr[reset] = 0.0
+            self.win_bitrate[reset] = 0.0
+            self.win_power[reset] = 0.0
+            self.win_count[reset] = 0
+        self.pend_fps = fps[pos]
+        self.pend_psnr = psnr[pos]
+        self.pend_bitrate = bitrate[pos]
+        self.pend_power = power[pos]
+        self.pend_valid = ~finished[pos]
+        self.steps += 1
+
+    def flush(self) -> None:
+        """Write the live windows back to their controllers.
+
+        Called before the driver's arrays are discarded (roster rebuilds and
+        stepper teardowns) so a successor — or the scalar engine — resumes
+        from the exact same window state.  The not-yet-folded stash is
+        deliberately excluded: it equals each session's ``last_observation``,
+        which the next engine folds itself (the scalar decide() appends it, a
+        fresh driver re-derives it in its constructor), so writing it here
+        would double-count the observation.
+        """
+        for k, controller in enumerate(self.controllers):
+            controller.set_observation_window(
+                float(self.win_fps[k]),
+                float(self.win_psnr[k]),
+                float(self.win_bitrate[k]),
+                float(self.win_power[k]),
+                int(self.win_count[k]),
+            )
+
 
 class BatchStepper:
     """Advances a fleet of orchestrators one step per call, batched.
@@ -286,6 +631,9 @@ class BatchStepper:
         self._roster: list[TranscodingSession] = []
         self._lanes: list[_SessionLane] = []
         self._lane_by_session: dict[TranscodingSession, _SessionLane] = {}
+        self._driver: Optional[_MamutDriver] = None
+        self._driven_flags: list[bool] = []
+        self._legacy_pos: list[int] = []
         self._counts: list[int] = []
         self._starts: list[int] = []
         self._static = {}
@@ -316,6 +664,8 @@ class BatchStepper:
 
     def _rebuild_roster(self, actives: list[list[TranscodingSession]]) -> None:
         """Re-gather per-session static columns after a membership change."""
+        if self._driver is not None:
+            self._driver.flush()
         lanes: list[_SessionLane] = []
         lane_map: dict[TranscodingSession, _SessionLane] = {}
         counts: list[int] = []
@@ -395,14 +745,47 @@ class BatchStepper:
         self._dyn_smt2_s = np.repeat(self._srv_dyn_smt2, counts_arr)
         self._vt_group_s = np.repeat(self._srv_vt_group, counts_arr)
 
-    def _refresh_video_columns(self) -> None:
-        """Apply in-place updates for sessions that moved to the next video."""
+        # Partition lanes into driver-managed MAMUT controllers and everything
+        # else (exactly MamutController; subclasses keep the scalar protocol).
+        self._driven_flags = [
+            type(lane.session.controller) is MamutController for lane in lanes
+        ]
+        self._legacy_pos = [
+            i for i, driven in enumerate(self._driven_flags) if not driven
+        ]
+        driven_pos = [i for i, driven in enumerate(self._driven_flags) if driven]
+        self._driver = _MamutDriver(lanes, driven_pos) if driven_pos else None
+
+    def flush_window_state(self) -> None:
+        """Write driver-managed observation windows back to their controllers.
+
+        Must be called when the stepper is discarded mid-run (fleet resizes
+        rebuild it); a successor stepper — or the scalar engine — then
+        resumes from identical controller state.  A no-op without driven
+        sessions.
+        """
+        if self._driver is not None:
+            self._driver.flush()
+
+    def _refresh_video_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Apply in-place updates for sessions that moved to the next video.
+
+        Returns two full-lane boolean masks for the MAMUT driver: lanes whose
+        session advanced to the next playlist video (controller reset → the
+        observation window restarts) and lanes whose session just finished.
+        """
+        advanced = np.zeros(len(self._lanes), dtype=bool)
+        finished = np.zeros(len(self._lanes), dtype=bool)
         for index, lane in enumerate(self._lanes):
             session = lane.session
-            if session.active and session.video_index != lane.video_index:
+            if not session.active:
+                finished[index] = True
+            elif session.video_index != lane.video_index:
+                advanced[index] = True
                 lane.refresh_video()
                 for name in _VIDEO_COLUMNS:
                     self._video_static[name][index] = float(getattr(lane, name))
+        return advanced, finished
 
     # -- stepping -------------------------------------------------------------------
 
@@ -455,35 +838,47 @@ class BatchStepper:
             self._rebuild_roster(actives)
 
         lanes = self._lanes
+        n = len(lanes)
 
         # -- gather: controller decisions + per-frame content -------------------
-        qp_l: list[int] = []
-        threads_l: list[int] = []
-        freq_l: list[float] = []
+        # Driver-managed MAMUT fleets run their activations (fleet-vectorized
+        # averaging / discretisation / rewards, per-session RNG + Q updates)
+        # before their cached decisions are read; every other controller is
+        # stepped through the per-session peek protocol.
+        if self._driver is not None:
+            self._driver.advance()
+
+        qp = np.empty(n, dtype=np.int64)
+        threads = np.empty(n, dtype=np.int64)
+        freq = np.empty(n)
+        if self._driver is not None:
+            driver = self._driver
+            qp[driver.positions] = driver.qp
+            threads[driver.positions] = driver.threads
+            freq[driver.positions] = driver.freq
+        for i in self._legacy_pos:
+            decision = lanes[i].session.peek_decision()
+            qp[i] = decision.qp
+            threads[i] = decision.threads
+            freq[i] = decision.frequency_ghz
+
         fidx_l: list[int] = []
         cx_l: list[float] = []
         mo_l: list[float] = []
         sc_l: list[bool] = []
         for lane in lanes:
-            decision = lane.session.peek_decision()
-            qp_l.append(decision.qp)
-            threads_l.append(decision.threads)
-            freq_l.append(decision.frequency_ghz)
             frame_index = lane.session.frame_index
             fidx_l.append(frame_index)
             cx_l.append(lane.complexity_col[frame_index])
             mo_l.append(lane.motion_col[frame_index])
             sc_l.append(lane.scene_col[frame_index])
 
-        qp = np.array(qp_l, dtype=np.int64)
         # Decision.__post_init__ already enforces threads >= 1 and a positive
         # frequency; QP is only range-checked by EncoderConfig, which the
         # batch path never builds — enforce it here so a misbehaving custom
         # controller fails exactly like it would on the scalar engine.
         if qp.min() < QP_MIN or qp.max() > QP_MAX:
             raise EncodingError(f"QP must be in [{QP_MIN}, {QP_MAX}]")
-        threads = np.array(threads_l, dtype=np.int64)
-        freq = np.array(freq_l)
         complexity = np.array(cx_l)
         motion = np.array(mo_l)
         scene = np.array(sc_l, dtype=bool)
@@ -604,8 +999,14 @@ class BatchStepper:
         bitrate_l = bitrate.tolist()
         time_l = total_time.tolist()
         power_l = session_power.tolist()
-        freq_list = freq_l
+        qp_l = qp.tolist()
+        threads_l = threads.tolist()
+        freq_list = freq.tolist()
         idle_cores_l = idle_cores.tolist()
+        driven_flags = self._driven_flags
+        # Per-lane server power (each session observes its server's total
+        # draw), fed back into the driver's observation windows.
+        power_lane = np.empty(n)
 
         samples: list[Optional[PowerSample]] = [None] * len(self.orchestrators)
         make_observation = Observation
@@ -632,6 +1033,7 @@ class BatchStepper:
             shared_power = server_static.base_power_w + idle_power
             busy_power_total = sum(power_l[start:end])
             total_power = shared_power + busy_power_total
+            power_lane[start:end] = total_power
 
             for i in range(start, end):
                 lane = lanes[i]
@@ -650,7 +1052,7 @@ class BatchStepper:
                     lane.resolution_class,
                     qp_l[i],
                     threads_l[i],
-                    freq_l[i],
+                    freq_list[i],
                     fps_i,
                     psnr_i,
                     bitrate_i,
@@ -659,7 +1061,10 @@ class BatchStepper:
                     lane.target_fps,
                 )
                 lane.step_counter += 1
-                lane.session.commit_step_result(record, observation)
+                if driven_flags[i]:
+                    lane.session.commit_driven_step(record, observation)
+                else:
+                    lane.session.commit_step_result(record, observation)
 
             duration = sum(time_l[start:end]) / counts[server_index]
             sample = PowerSample(
@@ -675,5 +1080,9 @@ class BatchStepper:
             if samples[server_index] is None:
                 samples[server_index] = self._idle_sample(server_index, step)
 
-        self._refresh_video_columns()
+        advanced, finished = self._refresh_video_columns()
+        if self._driver is not None:
+            self._driver.commit_observations(
+                fps, psnr, bitrate, power_lane, advanced, finished
+            )
         return samples  # type: ignore[return-value]

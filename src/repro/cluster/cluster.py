@@ -336,6 +336,11 @@ class ClusterOrchestrator:
         # (live) fleet; state flips that keep the same servers powered on
         # (warming -> active, active -> draining) don't invalidate it.
         if live != self._live:
+            if self._stepper is not None:
+                # MAMUT observation windows live in the stepper's arrays;
+                # park them on the controllers so the successor resumes from
+                # identical state.
+                self._stepper.flush_window_state()
             self._stepper = None
         self._live = live
         if not self._fixed_fleet_cap:

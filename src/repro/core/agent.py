@@ -20,7 +20,7 @@ from repro.core.actions import ActionSet
 from repro.core.learning_rate import LearningRateFunction, LearningRateParameters
 from repro.core.phases import Phase
 from repro.core.qtable import QTable
-from repro.core.states import SystemState
+from repro.core.states import StateSpace, SystemState
 from repro.core.transitions import TransitionModel
 from repro.errors import LearningError
 
@@ -52,6 +52,12 @@ class QLearningAgent:
         uniform-random policy for hundreds of frames, which would contradict
         the run-time traces the paper reports (Fig. 5).  Set to 1.0 for pure
         least-tried exploration.
+    state_space:
+        When given, the agent's Q-table uses the dense array mode addressed
+        by the space's integer state encoding (see
+        :class:`~repro.core.qtable.QTable`); every state handed to the agent
+        must then belong to the space.  Values are identical either way —
+        the array mode just makes lookups and fleet-batched updates O(1).
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class QLearningAgent:
         learning_rate_params: LearningRateParameters | None = None,
         seed: int = 0,
         exploration_epsilon: float = 0.25,
+        state_space: StateSpace | None = None,
     ) -> None:
         if not 0.0 <= gamma < 1.0:
             raise LearningError(f"gamma must be in [0, 1), got {gamma}")
@@ -74,7 +81,7 @@ class QLearningAgent:
         self.gamma = float(gamma)
         self.exploration_epsilon = float(exploration_epsilon)
         self.learning_rate = LearningRateFunction(learning_rate_params)
-        self.q_table = QTable(num_actions=len(actions))
+        self.q_table = QTable(num_actions=len(actions), state_space=state_space)
         self.transitions = TransitionModel(num_actions=len(actions))
         self._rng = np.random.default_rng(seed)
 
@@ -82,6 +89,14 @@ class QLearningAgent:
         self._state_action_counts: Dict[Tuple[SystemState, int], int] = defaultdict(int)
         #: Num(a): how often each action has been taken overall (any state).
         self._action_counts: Dict[int, int] = {a: 0 for a in actions.indices()}
+        # Caches over the counters, so the per-activation hot path (Eq. 3 and
+        # the phase test, which only need extremes of the counters) is O(1)
+        # instead of O(actions) / O(peers * actions).  ``None`` marks the
+        # running min as stale (recomputed lazily on the next read).
+        self._min_action_count: int | None = 0
+        #: max_a Num(s, a) per state — the visit count whose Eq. 3 learning
+        #: rate is the *smallest* over the state's actions.
+        self._state_max_counts: Dict[SystemState, int] = {}
 
     # -- counters ------------------------------------------------------------------
 
@@ -96,9 +111,18 @@ class QLearningAgent:
     def min_action_count(self) -> int:
         """``min_a Num(a)`` — the least-tried action count of this agent.
 
-        This is the quantity peers plug into the second term of Eq. 3.
+        This is the quantity peers plug into the second term of Eq. 3.  The
+        running minimum is cached and only recomputed after an update bumped
+        a least-tried action (peers read it on every one of their
+        activations, so the naive O(actions) min was a per-frame cost).
         """
-        return min(self._action_counts.values())
+        if self._min_action_count is None:
+            self._min_action_count = min(self._action_counts.values())
+        return self._min_action_count
+
+    def max_state_count(self, state: SystemState) -> int:
+        """``max_a Num(s, a)`` — the most-tried action count in ``state``."""
+        return self._state_max_counts.get(state, 0)
 
     def known_states(self) -> set[SystemState]:
         """States in which this agent has taken at least one action."""
@@ -124,11 +148,16 @@ class QLearningAgent:
         never seen before is in EXPLORATION by construction; phases are
         re-evaluated on every activation, so a state can fall back to
         exploration when the peer statistics change.
+
+        The smallest per-action learning rate is evaluated directly at the
+        state's most-tried action count instead of recomputing Eq. 3 for
+        every action: the own-visit term is non-increasing in ``Num(s, a)``
+        and the peer term is the same for all actions, and IEEE addition,
+        division and the ``min(1, .)`` clamp are monotone, so the alpha of
+        the max-count action is bitwise the minimum of the per-action alphas
+        (``tests/test_core_agent.py`` pins this against the brute force).
         """
-        alphas = [
-            self.alpha(state, action, peer_min_counts) for action in self.actions.indices()
-        ]
-        best = min(alphas)
+        best = self.learning_rate.alpha(self.max_state_count(state), peer_min_counts)
         if self.learning_rate.below_exploitation_threshold(best):
             return Phase.EXPLOITATION
         if self.learning_rate.below_exploration_threshold(best):
@@ -211,14 +240,35 @@ class QLearningAgent:
                 f"action index {action} out of range [0, {len(self.actions)})"
             )
 
-        self._state_action_counts[(state, action)] += 1
-        self._action_counts[action] += 1
+        pair_count = self._state_action_counts[(state, action)] + 1
+        self._state_action_counts[(state, action)] = pair_count
+        if pair_count > self._state_max_counts.get(state, 0):
+            self._state_max_counts[state] = pair_count
+        previous = self._action_counts[action]
+        self._action_counts[action] = previous + 1
+        if self._min_action_count is not None and previous == self._min_action_count:
+            # A least-tried action was bumped; the min may have risen.
+            self._min_action_count = None
         self.transitions.record(state, action, next_state)
 
         alpha = self.alpha(state, action, peer_min_counts)
         target = reward + self.gamma * self.q_table.max_value(next_state)
         self.q_table.update_towards(state, action, target, alpha)
         return alpha
+
+    def rebuild_count_caches(self) -> None:
+        """Recompute the counter caches from the raw counter dicts.
+
+        Callers that write ``_action_counts`` / ``_state_action_counts``
+        directly (persistence restore, tests poking internals) must call
+        this afterwards, or :meth:`min_action_count` and :meth:`phase` would
+        read stale cached extremes.
+        """
+        self._min_action_count = None
+        self._state_max_counts = {}
+        for (state, _), count in self._state_action_counts.items():
+            if count > self._state_max_counts.get(state, 0):
+                self._state_max_counts[state] = count
 
     # -- diagnostics ------------------------------------------------------------------------
 

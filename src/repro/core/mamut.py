@@ -25,7 +25,7 @@ from repro.core.agent import QLearningAgent
 from repro.core.config import MamutConfig
 from repro.core.controller import Controller, Decision
 from repro.core.exploitation import expected_q_action
-from repro.core.observation import Observation, average_observations
+from repro.core.observation import Observation
 from repro.core.phases import Phase
 from repro.core.rewards import RewardFunction
 from repro.core.states import SystemState
@@ -108,6 +108,7 @@ class MamutController(Controller):
                 learning_rate_params=self.config.learning_rate,
                 seed=self.config.seed,
                 exploration_epsilon=self.config.exploration_epsilon,
+                state_space=self.state_space,
             ),
             THREAD_AGENT: QLearningAgent(
                 THREAD_AGENT,
@@ -116,6 +117,7 @@ class MamutController(Controller):
                 learning_rate_params=self.config.learning_rate,
                 seed=self.config.seed + 1,
                 exploration_epsilon=self.config.exploration_epsilon,
+                state_space=self.state_space,
             ),
             DVFS_AGENT: QLearningAgent(
                 DVFS_AGENT,
@@ -124,6 +126,7 @@ class MamutController(Controller):
                 learning_rate_params=self.config.learning_rate,
                 seed=self.config.seed + 2,
                 exploration_epsilon=self.config.exploration_epsilon,
+                state_space=self.state_space,
             ),
         }
         for name in self.schedule.agent_names:
@@ -141,8 +144,21 @@ class MamutController(Controller):
             ),
         }
         self._pending: Optional[_PendingUpdate] = None
-        self._observation_buffer: list[Observation] = []
+        # The observation window since the last activation, kept as running
+        # component sums (left-to-right accumulation — the same IEEE order as
+        # summing a buffered window at activation time, so averages are
+        # bitwise unchanged).  The batch engine's MAMUT driver mirrors these
+        # five numbers in fleet-wide arrays and syncs them back through
+        # :meth:`observation_window`/:meth:`set_observation_window`.
+        self._window_fps = 0.0
+        self._window_psnr = 0.0
+        self._window_bitrate = 0.0
+        self._window_power = 0.0
+        self._window_count = 0
         self.history: list[AgentActivation] = []
+        # chain_after(frame) only depends on frame % hyper_period; exploitation
+        # activations hit it every time, so memoise per congruence class.
+        self._chain_cache: dict[int, list[str]] = {}
 
     # -- Controller interface ----------------------------------------------------------
 
@@ -153,17 +169,50 @@ class MamutController(Controller):
     def reset(self) -> None:
         """Clear per-video transient state; learned knowledge is kept."""
         self._pending = None
-        self._observation_buffer.clear()
+        self._clear_window()
 
     def decide(self, frame_index: int, observation: Optional[Observation]) -> Decision:
         if observation is not None:
-            self._observation_buffer.append(observation)
+            self._window_fps += observation.fps
+            self._window_psnr += observation.psnr_db
+            self._window_bitrate += observation.bitrate_mbps
+            self._window_power += observation.power_w
+            self._window_count += 1
 
         agent_name = self.schedule.agent_at(frame_index)
-        if agent_name is not None and self._observation_buffer:
+        if agent_name is not None and self._window_count:
             self._activate(agent_name, frame_index)
 
         return self.current_decision()
+
+    # -- observation window ------------------------------------------------------------
+
+    def _clear_window(self) -> None:
+        self._window_fps = 0.0
+        self._window_psnr = 0.0
+        self._window_bitrate = 0.0
+        self._window_power = 0.0
+        self._window_count = 0
+
+    def observation_window(self) -> tuple[float, float, float, float, int]:
+        """The running (fps, psnr, bitrate, power) sums and count of the window."""
+        return (
+            self._window_fps,
+            self._window_psnr,
+            self._window_bitrate,
+            self._window_power,
+            self._window_count,
+        )
+
+    def set_observation_window(
+        self, fps: float, psnr_db: float, bitrate_mbps: float, power_w: float, count: int
+    ) -> None:
+        """Overwrite the window sums (the batch driver syncs its mirror here)."""
+        self._window_fps = fps
+        self._window_psnr = psnr_db
+        self._window_bitrate = bitrate_mbps
+        self._window_power = power_w
+        self._window_count = count
 
     # -- decision assembly ----------------------------------------------------------------
 
@@ -186,13 +235,49 @@ class MamutController(Controller):
         ]
 
     def _activate(self, agent_name: str, frame_index: int) -> None:
-        """Close the pending update and let ``agent_name`` act."""
-        averaged = average_observations(self._observation_buffer)
+        """Average the window, discretise, and let ``agent_name`` act."""
+        n = self._window_count
+        averaged = Observation(
+            fps=self._window_fps / n,
+            psnr_db=self._window_psnr / n,
+            bitrate_mbps=self._window_bitrate / n,
+            power_w=self._window_power / n,
+        )
         current_state = self.state_space.discretize(averaged)
+        reward_value = (
+            self.reward_function.total(averaged) if self._pending is not None else None
+        )
+        self._clear_window()
+        self.apply_external_activation(
+            agent_name, frame_index, current_state, reward_value
+        )
+
+    def apply_external_activation(
+        self,
+        agent_name: str,
+        frame_index: int,
+        current_state: SystemState,
+        reward_value: Optional[float],
+    ) -> None:
+        """Run one activation whose observation window was averaged externally.
+
+        This is :meth:`_activate` with the averaging, discretisation and
+        reward evaluation hoisted out: the batch stepping engine
+        (:mod:`repro.cluster.batch`) keeps each session's observation window
+        in fleet-wide struct-of-arrays buffers and computes ``current_state``
+        (via :meth:`~repro.core.states.StateSpace.discretize_batch`) and
+        ``reward_value`` (via
+        :meth:`~repro.core.rewards.RewardFunction.total_batch` in exact
+        mode) for every activating session in one vectorized shot, then
+        calls this per session — in the session's own order, so exploration
+        RNG draws, Q updates and history stay identical to the scalar path.
+        ``reward_value`` is ignored when no update is pending (the caller
+        may compute it unconditionally).
+        """
         reward: Optional[float] = None
 
         if self._pending is not None:
-            reward = self.reward_function.total(averaged)
+            reward = reward_value
             pending_agent = self.agents[self._pending.agent_name]
             pending_agent.update(
                 self._pending.state,
@@ -210,7 +295,6 @@ class MamutController(Controller):
         self._pending = _PendingUpdate(
             agent_name=agent_name, state=current_state, action_index=action_index
         )
-        self._observation_buffer.clear()
 
         if self.config.record_history:
             self.history.append(
@@ -243,7 +327,11 @@ class MamutController(Controller):
         # Exploitation: use Algorithm 1 over the chain of following agents,
         # but only when they have all reached exploitation for this state
         # (Sec. IV-C); otherwise fall back to the agent's own Q-table.
-        chain_names = self.schedule.chain_after(frame_index)
+        chain_key = frame_index % self.schedule.hyper_period
+        chain_names = self._chain_cache.get(chain_key)
+        if chain_names is None:
+            chain_names = self.schedule.chain_after(frame_index)
+            self._chain_cache[chain_key] = chain_names
         chain = [self.agents[name] for name in chain_names]
         peers_ready = all(
             peer.phase(state, self._peer_min_counts(peer.name)) is Phase.EXPLOITATION

@@ -52,14 +52,27 @@ def average_observations(observations: Sequence[Observation] | Iterable[Observat
     Fig. 3): the next state presented to the learning update is the average
     of the states observed during those frames, so that agents learn about
     each other's behaviour rather than about frame-to-frame content noise.
+
+    The four components are accumulated in one pass over the input, in
+    iteration order — the same left-to-right IEEE summation (starting from
+    0.0) the four separate ``sum`` calls used to perform, so results are
+    bitwise unchanged.  Running sums maintained incrementally in that order
+    (as the batch engine's struct-of-arrays observation windows do) divide
+    to the identical averages.
     """
-    observations = list(observations)
-    if not observations:
+    fps = psnr_db = bitrate_mbps = power_w = 0.0
+    n = 0
+    for o in observations:
+        fps += o.fps
+        psnr_db += o.psnr_db
+        bitrate_mbps += o.bitrate_mbps
+        power_w += o.power_w
+        n += 1
+    if n == 0:
         raise LearningError("cannot average an empty list of observations")
-    n = len(observations)
     return Observation(
-        fps=sum(o.fps for o in observations) / n,
-        psnr_db=sum(o.psnr_db for o in observations) / n,
-        bitrate_mbps=sum(o.bitrate_mbps for o in observations) / n,
-        power_w=sum(o.power_w for o in observations) / n,
+        fps=fps / n,
+        psnr_db=psnr_db / n,
+        bitrate_mbps=bitrate_mbps / n,
+        power_w=power_w / n,
     )

@@ -107,6 +107,9 @@ def restore_agent(agent: QLearningAgent, snapshot: Mapping[str, Any]) -> None:
 
     for action, count in snapshot["action_counts"].items():
         agent._action_counts[int(action)] = int(count)
+    # The counters were written behind the agent's back; its cached extremes
+    # (running min action count, per-state max counts) must be rebuilt.
+    agent.rebuild_count_caches()
 
     for pair_key, next_counts in snapshot["transitions"].items():
         state_key, action = pair_key.rsplit("|", 1)

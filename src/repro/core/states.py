@@ -162,6 +162,54 @@ class StateSpace:
             power_bin=self.power_bin(observation.power_w),
         )
 
+    # -- dense integer encoding ------------------------------------------------------
+
+    def state_index(self, state: SystemState) -> int:
+        """Dense index of a state in ``[0, size)`` (mixed-radix encoding).
+
+        The encoding orders states exactly like :meth:`states` iterates them
+        (fps-major, power-minor), so ``state_index`` and :meth:`index_to_state`
+        are inverses.  Array-backed Q-tables use it to address rows.
+        """
+        if (
+            not 0 <= state.fps_bin < self.num_fps_bins
+            or not 0 <= state.psnr_bin < self.num_psnr_bins
+            or not 0 <= state.bitrate_bin < self.num_bitrate_bins
+            or not 0 <= state.power_bin < self.num_power_bins
+        ):
+            raise ConfigurationError(
+                f"state {state!r} has bins outside this space's ranges"
+            )
+        return (
+            (state.fps_bin * self.num_psnr_bins + state.psnr_bin)
+            * self.num_bitrate_bins
+            + state.bitrate_bin
+        ) * self.num_power_bins + state.power_bin
+
+    def index_to_state(self, index: int) -> SystemState:
+        """Inverse of :meth:`state_index`."""
+        if not 0 <= index < self.size:
+            raise ConfigurationError(
+                f"state index {index} out of range [0, {self.size})"
+            )
+        index, power_bin = divmod(index, self.num_power_bins)
+        index, bitrate_bin = divmod(index, self.num_bitrate_bins)
+        fps_bin, psnr_bin = divmod(index, self.num_psnr_bins)
+        return SystemState(fps_bin, psnr_bin, bitrate_bin, power_bin)
+
+    def state_index_batch(self, bins: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`state_index` over an ``(n, 4)`` bin array.
+
+        ``bins`` is the output of :meth:`discretize_batch` (columns: fps,
+        psnr, bitrate, power); returns the ``(n,)`` dense index array.
+        """
+        bins = np.asarray(bins, dtype=np.int64)
+        return (
+            (bins[..., 0] * self.num_psnr_bins + bins[..., 1])
+            * self.num_bitrate_bins
+            + bins[..., 2]
+        ) * self.num_power_bins + bins[..., 3]
+
     def discretize_batch(
         self,
         fps: np.ndarray,

@@ -217,6 +217,12 @@ class Orchestrator:
             power_samples.append(sample)
             step += 1
 
+        if stepper is not None:
+            # Park driver-held MAMUT observation windows on the controllers
+            # so a follow-up run (either engine) resumes from identical
+            # state when max_steps stopped the run mid-playlist.
+            stepper.flush_window_state()
+
         records_by_session = {
             session.session_id: list(session.records) for session in self.sessions
         }

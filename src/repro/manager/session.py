@@ -15,7 +15,10 @@ controller (the per-session half of ``prepare``; the transcode math is
 evaluated fleet-wide in one NumPy batch), and
 :meth:`TranscodingSession.commit_step_result` applies the externally
 computed measurements with exactly the bookkeeping ``execute`` performs.
-The two protocols cannot be interleaved within one step.
+Sessions whose controller is advanced by the batch engine's vectorized
+MAMUT driver skip the peek entirely and close each step through
+:meth:`TranscodingSession.commit_driven_step`.  The protocols cannot be
+interleaved within one step.
 """
 
 from __future__ import annotations
@@ -195,6 +198,29 @@ class TranscodingSession:
                 "commit_step_result() called without a preceding peek_decision()"
             )
         self._pending = None
+        self.records.append(record)
+        self.last_observation = observation
+        self._step += 1
+        self._advance_frame()
+
+    def commit_driven_step(
+        self, record: FrameRecord, observation: Observation
+    ) -> None:
+        """Batch-engine step for driver-managed controllers.
+
+        The batch stepper's vectorized MAMUT driver advances the controller
+        out-of-band (fleet-wide averaging/discretisation/reward plus
+        per-session action selection), so there is no per-session
+        ``peek_decision`` call; this performs the same bookkeeping as
+        :meth:`commit_step_result` while enforcing that no two-phase step is
+        in flight.
+        """
+        if not self.active:
+            raise ScenarioError(f"session {self.session_id!r} has finished")
+        if self._pending is not None:
+            raise ScenarioError(
+                "commit_driven_step() with a prepare()/peek_decision() in flight"
+            )
         self.records.append(record)
         self.last_observation = observation
         self._step += 1

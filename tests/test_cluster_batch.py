@@ -16,11 +16,14 @@ from repro.cluster import (
     BatchStepper,
     CapacityThreshold,
     ClusterOrchestrator,
+    FlashCrowdTraffic,
     PoissonTraffic,
     PowerHeadroom,
+    ReactiveThreshold,
     RoundRobin,
     WorkloadGenerator,
 )
+from repro.cluster.brownout import BrownoutController
 from repro.cluster.dispatch import PowerAware
 from repro.errors import ClusterError, ScenarioError
 from repro.manager.factories import (
@@ -140,6 +143,122 @@ class TestEngineEquivalence:
             ClusterOrchestrator(1, workload, engine="turbo")
 
 
+class TestMamutFleetEquivalence:
+    """ISSUE 5: MAMUT fleets ride the vectorized activation path.
+
+    The driver keeps observation windows in fleet arrays and closes Q
+    updates from batched averaging/discretisation/rewards, so these tests
+    pin bitwise equivalence on exactly the configurations that stress its
+    bookkeeping: mid-run autoscale resizes (the stepper — and with it the
+    driver — is torn down and rebuilt while windows are mid-flight) and
+    brownout-degraded controller factories (mixed fleets where only some
+    lanes are driver-managed, or driven lanes disagree on reward/state
+    parameters).
+    """
+
+    def run_autoscaled(self, engine):
+        workload = WorkloadGenerator(
+            FlashCrowdTraffic(0.25, peak_multiplier=5.0, start=10, duration=12),
+            seed=5,
+            frames_per_video=16,
+        )
+        cluster = ClusterOrchestrator(
+            2,
+            workload,
+            admission=AlwaysAdmit(),
+            controller_factory=mamut_factory(),
+            seed=5,
+            engine=engine,
+            autoscaler=ReactiveThreshold(sessions_per_server=2),
+            min_servers=1,
+            max_servers=6,
+            provision_warmup_steps=2,
+        )
+        return cluster.run(50)
+
+    def test_autoscale_resizes_equivalent(self):
+        scalar = self.run_autoscaled("scalar")
+        batch = self.run_autoscaled("batch")
+        # The scenario must actually resize mid-run (both directions), or it
+        # would not exercise the stepper teardown/window-flush path.
+        directions = {event.direction for event in batch.scaling_events}
+        assert directions == {"up", "down"}
+        assert_identical(scalar, batch)
+        assert scalar.scaling_events == batch.scaling_events
+        assert scalar.fleet_trace == batch.fleet_trace
+
+    def run_brownout(self, engine, degraded_factory):
+        workload = WorkloadGenerator(
+            FlashCrowdTraffic(0.3, peak_multiplier=6.0, start=5, duration=10),
+            seed=7,
+            frames_per_video=14,
+            patience_steps=4,
+        )
+        cluster = ClusterOrchestrator(
+            2,
+            workload,
+            admission=CapacityThreshold(
+                max_sessions_per_server=2, max_queue=12, brownout_extra_sessions=6
+            ),
+            controller_factory=mamut_factory(),
+            seed=7,
+            engine=engine,
+            brownout=BrownoutController(
+                sessions_per_server=2,
+                enter_steps=2,
+                exit_steps=4,
+                fps_relax=0.6,
+                degraded_factory=degraded_factory,
+            ),
+        )
+        return cluster.run(30)
+
+    def test_brownout_mixed_static_degraded_fleet_equivalent(self):
+        # Static degraded sessions share servers with learning sessions:
+        # only part of the fleet is driver-managed.
+        factory = lambda: static_factory(qp=40, threads=2, frequency_ghz=3.2)
+        scalar = self.run_brownout("scalar", factory())
+        batch = self.run_brownout("batch", factory())
+        assert batch.summary().brownout_steps > 0
+        assert batch.summary().degraded_sessions > 0
+        assert_identical(scalar, batch)
+
+    def test_brownout_degraded_mamut_fleet_equivalent(self):
+        # Degraded MAMUT controllers carry a different power cap, so driven
+        # lanes split across vector groups (distinct state space + reward
+        # parameters) within one batched activation step.
+        factory = lambda: mamut_factory(power_cap_w=80.0)
+        scalar = self.run_brownout("scalar", factory())
+        batch = self.run_brownout("batch", factory())
+        assert batch.summary().degraded_sessions > 0
+        assert_identical(scalar, batch)
+
+    def test_q_tables_identical_after_run(self):
+        def collect(engine):
+            workload = WorkloadGenerator(
+                PoissonTraffic(1.0), seed=3, frames_per_video=12
+            )
+            cluster = ClusterOrchestrator(
+                2,
+                workload,
+                controller_factory=mamut_factory(),
+                seed=3,
+                engine=engine,
+            )
+            cluster.run(30, drain=True)
+            tables = {}
+            for orch in cluster.orchestrators:
+                for session in orch.sessions:
+                    controller = session.controller
+                    tables[session.session_id] = {
+                        name: agent.q_table.to_dict()
+                        for name, agent in controller.agents.items()
+                    }
+            return tables
+
+        assert collect("scalar") == collect("batch")
+
+
 class TestOrchestratorBatchRun:
     def make_sessions(self, count=4, frames=12):
         sessions = []
@@ -206,3 +325,109 @@ class TestBatchStepperProtocol:
             )
             with pytest.raises(EncodingError):
                 cluster.run(10)
+
+
+class TestThroughputBenchClaims:
+    """ISSUE 5: the learning-controller throughput claims of bench_step_throughput."""
+
+    def test_bench_json_records_mamut_rows_and_speedup_floor(self):
+        import json
+        from pathlib import Path
+
+        payload = json.loads(
+            (Path(__file__).resolve().parent.parent / "BENCH_throughput.json").read_text()
+        )
+        rows = [r for r in payload["results"] if r["controller"] == "mamut"]
+        assert {r["engine"] for r in rows} == {"scalar", "batch"}
+        assert any(r["servers"] >= 64 for r in rows)
+        speedups = payload["speedup_batch_over_scalar"]["mamut"]
+        assert speedups["64"] >= 3.0
+        # The static rows must survive the merge.
+        assert payload["speedup_batch_over_scalar"]["static"]["64"] >= 5.0
+
+    def test_mamut_batch_beats_scalar_wall_clock(self):
+        """A conservative live canary for the headline >=3x-at-64 claim.
+
+        Run at a smaller scale so the test stays fast, and only assert that
+        the batch engine is actually ahead — the full factor is asserted by
+        the benchmark itself (bench_step_throughput --controller mamut).
+        """
+        import time
+
+        from repro.cluster.workload import TrafficModel
+
+        class Burst(TrafficModel):
+            def rate(self, step):
+                return 48.0 if step == 0 else 0.0
+
+        def run(engine):
+            workload = WorkloadGenerator(Burst(), seed=0, frames_per_video=40)
+            cluster = ClusterOrchestrator(
+                24,
+                workload,
+                admission=AlwaysAdmit(),
+                dispatcher=RoundRobin(),
+                controller_factory=mamut_factory(),
+                seed=0,
+                engine=engine,
+            )
+            # Admit the step-0 burst (two sessions per server) untimed, then
+            # time the pure stepping loop like the benchmark does.
+            cluster.run(1, drain=False)
+            if engine == "batch":
+                stepper = BatchStepper(cluster.orchestrators)
+                stepper.step(1)  # warm-up: roster gather
+                start = time.perf_counter()
+                for step in range(2, 32):
+                    stepper.step(step)
+            else:
+                for orch in cluster.orchestrators:
+                    if orch.run_step(1) is None:
+                        orch.idle_step(1)
+                start = time.perf_counter()
+                for step in range(2, 32):
+                    for orch in cluster.orchestrators:
+                        if orch.run_step(step) is None:
+                            orch.idle_step(step)
+            return time.perf_counter() - start
+
+        scalar_elapsed = run("scalar")
+        batch_elapsed = run("batch")
+        assert batch_elapsed < scalar_elapsed
+
+
+class TestEngineResume:
+    """Window state survives engine hand-offs (chunked runs, engine switches)."""
+
+    def test_chunked_batch_run_equals_one_shot(self):
+        sessions = TestOrchestratorBatchRun().make_sessions
+        one_shot = Orchestrator(sessions(frames=24)).run(engine="batch")
+        orch = Orchestrator(sessions(frames=24))
+        first = orch.run(max_steps=9, engine="batch")
+        rest = orch.run(engine="batch")
+        assert first.steps == 9
+        chunked = {
+            session_id: first.records_by_session[session_id]
+            + rest.records_by_session[session_id][9:]
+            for session_id in one_shot.records_by_session
+        }
+        # rest.records_by_session includes the first chunk's records too
+        # (session.records is cumulative) — compare the full trajectories.
+        assert rest.records_by_session == one_shot.records_by_session
+        assert chunked == one_shot.records_by_session
+
+    def test_batch_then_scalar_equals_pure_scalar(self):
+        sessions = TestOrchestratorBatchRun().make_sessions
+        pure = Orchestrator(sessions(frames=24)).run()
+        orch = Orchestrator(sessions(frames=24))
+        orch.run(max_steps=9, engine="batch")
+        mixed = orch.run(engine="scalar")
+        assert mixed.records_by_session == pure.records_by_session
+
+    def test_scalar_then_batch_equals_pure_batch(self):
+        sessions = TestOrchestratorBatchRun().make_sessions
+        pure = Orchestrator(sessions(frames=24)).run(engine="batch")
+        orch = Orchestrator(sessions(frames=24))
+        orch.run(max_steps=9, engine="scalar")
+        mixed = orch.run(engine="batch")
+        assert mixed.records_by_session == pure.records_by_session

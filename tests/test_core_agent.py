@@ -164,3 +164,65 @@ class TestSummary:
         assert summary["actions"] == 4
         assert summary["visited_states"] == 1
         assert summary["q_entries"] >= 1
+
+
+class TestCounterCaches:
+    """ISSUE 5 satellite: cached counter extremes match the brute force."""
+
+    def brute_force_min(self, agent):
+        return min(agent._action_counts.values())
+
+    def brute_force_phase(self, agent, state, peers):
+        # The pre-cache implementation: Eq. 3 evaluated for every action.
+        alphas = [
+            agent.alpha(state, action, peers) for action in agent.actions.indices()
+        ]
+        best = min(alphas)
+        if agent.learning_rate.below_exploitation_threshold(best):
+            return Phase.EXPLOITATION
+        if agent.learning_rate.below_exploration_threshold(best):
+            return Phase.EXPLORATION_EXPLOITATION
+        return Phase.EXPLORATION
+
+    def test_counters_and_phases_unchanged_under_random_updates(self):
+        import numpy as np
+
+        agent = make_agent(num_actions=3)
+        states = [SystemState(i, 1, 0, 0) for i in range(4)]
+        rng = np.random.default_rng(7)
+        peers = [0, 0]
+        for step in range(400):
+            state = states[rng.integers(len(states))]
+            action = int(rng.integers(3))
+            next_state = states[rng.integers(len(states))]
+            peers = [int(rng.integers(6)), int(rng.integers(6))]
+            agent.update(state, action, float(rng.normal()), next_state, peers)
+            assert agent.min_action_count() == self.brute_force_min(agent)
+            probe = states[rng.integers(len(states))]
+            assert agent.phase(probe, peers) is self.brute_force_phase(
+                agent, probe, peers
+            )
+            assert agent.max_state_count(probe) == max(
+                (agent.state_action_count(probe, a) for a in agent.actions.indices()),
+                default=0,
+            )
+
+    def test_min_action_count_cache_invalidated_on_update(self):
+        agent = make_agent(num_actions=2)
+        assert agent.min_action_count() == 0
+        agent.update(S0, 0, 1.0, S1, [])
+        assert agent.min_action_count() == 0
+        agent.update(S0, 1, 1.0, S1, [])
+        assert agent.min_action_count() == 1
+
+    def test_rebuild_count_caches_after_direct_mutation(self):
+        agent = make_agent(num_actions=2)
+        agent.update(S0, 0, 1.0, S1, [])
+        assert agent.min_action_count() == 0
+        # Simulate a restore writing the raw counters directly.
+        agent._action_counts[0] = 5
+        agent._action_counts[1] = 3
+        agent._state_action_counts[(S1, 1)] = 4
+        agent.rebuild_count_caches()
+        assert agent.min_action_count() == 3
+        assert agent.max_state_count(S1) == 4

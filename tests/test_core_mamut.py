@@ -149,3 +149,68 @@ class TestAdaptation:
         low = max(qp_agent.q_table.get(s, low_qp_index) for s in visited)
         high = max(qp_agent.q_table.get(s, high_qp_index) for s in visited)
         assert high > low
+
+
+class TestObservationWindow:
+    """The running-sum window behind the batch driver's SoA mirror."""
+
+    def controller(self):
+        return MamutController(MamutConfig(seed=0))
+
+    def observation(self, fps=30.0):
+        return Observation(fps=fps, psnr_db=40.0, bitrate_mbps=2.0, power_w=100.0)
+
+    def test_decide_accumulates_and_activation_clears(self):
+        controller = self.controller()
+        controller.decide(0, None)
+        assert controller.observation_window() == (0.0, 0.0, 0.0, 0.0, 0)
+        # Frame 1 is a threads activation under the paper's schedule: the
+        # single buffered observation is consumed.
+        controller.decide(1, self.observation(fps=20.0))
+        assert controller.observation_window() == (0.0, 0.0, 0.0, 0.0, 0)
+        # NULL slots accumulate.
+        controller.decide(3, self.observation(fps=10.0))
+        controller.decide(4, self.observation(fps=14.0))
+        fps_sum, psnr_sum, bitrate_sum, power_sum, count = (
+            controller.observation_window()
+        )
+        assert (fps_sum, count) == (24.0, 2)
+        assert psnr_sum == 80.0 and bitrate_sum == 4.0 and power_sum == 200.0
+
+    def test_window_round_trips_through_setter(self):
+        controller = self.controller()
+        controller.set_observation_window(1.0, 2.0, 3.0, 4.0, 5)
+        assert controller.observation_window() == (1.0, 2.0, 3.0, 4.0, 5)
+        controller.reset()
+        assert controller.observation_window() == (0.0, 0.0, 0.0, 0.0, 0)
+
+    def test_external_activation_matches_decide(self):
+        """apply_external_activation with precomputed inputs == _activate."""
+        internal = self.controller()
+        external = self.controller()
+        trace = [self.observation(fps=10.0 + i) for i in range(8)]
+
+        internal.decide(0, None)
+        external.decide(0, None)
+        window: list[Observation] = []
+        for frame in range(1, 8):
+            observation = trace[frame - 1]
+            internal.decide(frame, observation)
+
+            window.append(observation)
+            agent_name = external.schedule.agent_at(frame)
+            if agent_name is not None and window:
+                from repro.core.observation import average_observations
+
+                averaged = average_observations(window)
+                state = external.state_space.discretize(averaged)
+                reward = external.reward_function.total(averaged)
+                external.apply_external_activation(agent_name, frame, state, reward)
+                window.clear()
+
+        assert internal.current_decision() == external.current_decision()
+        for name in internal.agents:
+            assert (
+                internal.agents[name].q_table.to_dict()
+                == external.agents[name].q_table.to_dict()
+            )

@@ -46,3 +46,36 @@ class TestAverageObservations:
             for f in (24, 26)
         )
         assert average_observations(observations).fps == pytest.approx(25.0)
+
+
+class TestSinglePassAveraging:
+    def test_matches_the_four_pass_reference_bitwise(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        for n in (1, 2, 3, 7, 20, 150):
+            observations = [
+                Observation(
+                    fps=float(rng.uniform(1, 60)),
+                    psnr_db=float(rng.uniform(20, 55)),
+                    bitrate_mbps=float(rng.uniform(0.1, 10)),
+                    power_w=float(rng.uniform(40, 200)),
+                )
+                for _ in range(n)
+            ]
+            averaged = average_observations(observations)
+            # The historical implementation: one sum() pass per component.
+            assert averaged.fps == sum(o.fps for o in observations) / n
+            assert averaged.psnr_db == sum(o.psnr_db for o in observations) / n
+            assert (
+                averaged.bitrate_mbps
+                == sum(o.bitrate_mbps for o in observations) / n
+            )
+            assert averaged.power_w == sum(o.power_w for o in observations) / n
+
+    def test_accepts_any_iterable_once(self):
+        averaged = average_observations(
+            Observation(fps=10.0 * i, psnr_db=30.0, bitrate_mbps=1.0, power_w=50.0)
+            for i in (1, 2)
+        )
+        assert averaged.fps == 15.0

@@ -109,3 +109,21 @@ class TestControllerSnapshot:
         snapshot["version"] = 999
         with pytest.raises(LearningError):
             restore_agents(MamutController(MamutConfig.for_request(hr_request)).agents, snapshot)
+
+
+class TestRestoreRebuildsCaches:
+    def test_min_action_count_fresh_after_restore(self):
+        source = QLearningAgent("qp", ActionSet("qp", (28, 32, 36)))
+        state = SystemState(1, 1, 1, 0)
+        other = SystemState(2, 1, 1, 0)
+        for action in (0, 0, 1, 2, 0):
+            source.update(state, action, 1.0, other, [0, 0])
+        snapshot = snapshot_agent(source)
+
+        target = QLearningAgent("qp", ActionSet("qp", (28, 32, 36)))
+        # Poison the cache: read it once so it is materialised at 0.
+        assert target.min_action_count() == 0
+        restore_agent(target, snapshot)
+        assert target.min_action_count() == source.min_action_count() == 1
+        assert target.max_state_count(state) == source.max_state_count(state)
+        assert target.phase(state, [3, 3]) is source.phase(state, [3, 3])

@@ -80,3 +80,148 @@ class TestQTable:
     def test_invalid_num_actions_rejected(self):
         with pytest.raises(LearningError):
             QTable(num_actions=0)
+
+
+class TestArrayMode:
+    """The dense (state_space-backed) storage behind the same API."""
+
+    def dense(self, num_actions=3, initial_value=0.0):
+        from repro.core.states import StateSpace
+
+        return QTable(
+            num_actions=num_actions,
+            initial_value=initial_value,
+            state_space=StateSpace(),
+        )
+
+    def test_defaults_and_set_get(self):
+        table = self.dense(initial_value=0.5)
+        assert table.dense
+        assert table.get(S0, 0) == pytest.approx(0.5)
+        assert len(table) == 0
+        table.set(S1, 2, 3.0)
+        assert table.get(S1, 2) == pytest.approx(3.0)
+        assert table.get(S1, 0) == pytest.approx(0.5)
+        assert len(table) == 1
+
+    def test_matches_dict_mode_operation_for_operation(self):
+        import numpy as np
+
+        from repro.core.states import StateSpace
+
+        space = StateSpace()
+        dict_table = QTable(num_actions=4)
+        array_table = QTable(num_actions=4, state_space=space)
+        states = list(space.states())
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            state = states[rng.integers(len(states))]
+            action = int(rng.integers(4))
+            op = rng.integers(3)
+            if op == 0:
+                value = float(rng.normal())
+                dict_table.set(state, action, value)
+                array_table.set(state, action, value)
+            elif op == 1:
+                target = float(rng.normal())
+                alpha = float(rng.uniform())
+                a = dict_table.update_towards(state, action, target, alpha)
+                b = array_table.update_towards(state, action, target, alpha)
+                assert a == b
+            else:
+                assert dict_table.get(state, action) == array_table.get(state, action)
+                assert dict_table.max_value(state) == array_table.max_value(state)
+                assert dict_table.best_action(state) == array_table.best_action(state)
+                assert dict_table.action_values(state) == array_table.action_values(state)
+        assert len(dict_table) == len(array_table)
+        assert dict_table.to_dict() == array_table.to_dict()
+        assert dict_table.visited_states() == array_table.visited_states()
+
+    def test_items_round_trip_through_load(self):
+        source = self.dense()
+        source.set(S0, 0, 1.0)
+        source.set(S1, 2, -2.0)
+        restored = self.dense()
+        restored.load(list(source.items()))
+        assert restored.to_dict() == source.to_dict()
+
+    def test_max_value_batch_matches_scalar(self):
+        import numpy as np
+
+        table = self.dense(num_actions=3)
+        space = table.state_space
+        table.set(S0, 1, 4.0)
+        table.set(S1, 0, -1.0)
+        indices = np.array(
+            [space.state_index(S0), space.state_index(S1), space.size - 1]
+        )
+        batch = table.max_value_batch(indices)
+        assert batch.tolist() == [
+            table.max_value(S0),
+            table.max_value(S1),
+            table.max_value(space.index_to_state(space.size - 1)),
+        ]
+
+    def test_update_towards_batch_matches_scalar(self):
+        import numpy as np
+
+        scalar_table = self.dense(num_actions=3)
+        batch_table = self.dense(num_actions=3)
+        space = scalar_table.state_space
+        states = [S0, S1, SystemState(2, 3, 1, 1)]
+        actions = [0, 2, 1]
+        targets = [1.0, -3.0, 0.5]
+        alphas = [1.0, 0.25, 0.6]
+        for s, a, t, al in zip(states, actions, targets, alphas):
+            scalar_table.update_towards(s, a, t, al)
+        new_values = batch_table.update_towards_batch(
+            np.array([space.state_index(s) for s in states]),
+            np.array(actions),
+            np.array(targets),
+            np.array(alphas),
+        )
+        assert batch_table.to_dict() == scalar_table.to_dict()
+        assert new_values.tolist() == [
+            scalar_table.get(s, a) for s, a in zip(states, actions)
+        ]
+
+    def test_batch_entry_points_require_array_mode(self):
+        import numpy as np
+
+        table = QTable(num_actions=2)
+        with pytest.raises(LearningError):
+            table.max_value_batch(np.array([0]))
+        with pytest.raises(LearningError):
+            table.update_towards_batch(
+                np.array([0]), np.array([0]), np.array([0.0]), np.array([0.5])
+            )
+
+    def test_batch_update_validates_actions_and_alphas(self):
+        import numpy as np
+
+        table = self.dense(num_actions=2)
+        with pytest.raises(LearningError):
+            table.update_towards_batch(
+                np.array([0]), np.array([2]), np.array([0.0]), np.array([0.5])
+            )
+        with pytest.raises(LearningError):
+            table.update_towards_batch(
+                np.array([0]), np.array([0]), np.array([0.0]), np.array([1.5])
+            )
+
+    def test_state_outside_the_space_rejected(self):
+        from repro.errors import ConfigurationError
+
+        table = self.dense()
+        with pytest.raises(ConfigurationError):
+            table.set(SystemState(99, 0, 0, 0), 0, 1.0)
+
+    def test_lazy_growth_is_invisible(self):
+        table = self.dense()
+        space = table.state_space
+        last = space.index_to_state(space.size - 1)
+        assert table.max_value(last) == 0.0
+        table.set(last, 0, 7.0)
+        assert table.get(last, 0) == 7.0
+        first = space.index_to_state(0)
+        assert table.get(first, 0) == 0.0

@@ -106,3 +106,36 @@ class TestRewardConfig:
             RewardConfig(bandwidth_mbps=0.0)
         with pytest.raises(ConfigurationError):
             RewardConfig(power_cap_w=0.0)
+
+
+class TestExactBatchMode:
+    def test_exact_batch_is_bitwise_equal_to_scalar(self):
+        import numpy as np
+
+        from repro.core.observation import Observation
+
+        function = RewardFunction()
+        rng = np.random.default_rng(11)
+        fps = rng.uniform(5.0, 60.0, 500)
+        psnr = rng.uniform(20.0, 60.0, 500)
+        bitrate = rng.uniform(0.1, 12.0, 500)
+        power = rng.uniform(40.0, 200.0, 500)
+        batch = function.total_batch(fps, psnr, bitrate, power, exact=True)
+        scalar = [
+            function.total(Observation(f, p, b, w))
+            for f, p, b, w in zip(fps, psnr, bitrate, power)
+        ]
+        # Bitwise, not approx: the batch engine's Q-table equivalence
+        # guarantee rests on this.
+        assert batch.tolist() == scalar
+
+    def test_exact_and_default_modes_agree_to_float_noise(self):
+        import numpy as np
+
+        function = RewardFunction()
+        psnr = np.linspace(30.0, 50.0, 64)
+        fps = np.full_like(psnr, 24.0)
+        zeros = np.zeros_like(psnr)
+        exact = function.total_batch(fps, psnr, zeros, zeros, exact=True)
+        default = function.total_batch(fps, psnr, zeros, zeros)
+        assert np.allclose(exact, default, rtol=1e-14, atol=0.0)

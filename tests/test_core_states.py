@@ -105,3 +105,51 @@ class TestValidation:
             StateSpace(psnr_edges=(40.0, 30.0))
         with pytest.raises(ConfigurationError):
             StateSpace(bitrate_edges_mbps=(6.0, 3.0))
+
+
+class TestDenseStateEncoding:
+    def test_index_round_trips_over_the_whole_space(self, space):
+        seen = set()
+        for state in space.states():
+            index = space.state_index(state)
+            assert 0 <= index < space.size
+            assert space.index_to_state(index) == state
+            seen.add(index)
+        assert len(seen) == space.size
+
+    def test_enumeration_order_matches_indices(self, space):
+        """states() iterates exactly in state_index order."""
+        indices = [space.state_index(s) for s in space.states()]
+        assert indices == list(range(space.size))
+
+    def test_batch_indices_match_scalar(self, space):
+        import numpy as np
+
+        observations = [
+            obs(fps=f, psnr=p, bitrate=b, power=w)
+            for f in (10.0, 24.0, 27.0, 40.0)
+            for p in (29.0, 41.0, 55.0)
+            for b in (1.0, 7.0)
+            for w in (80.0, 150.0)
+        ]
+        bins = space.discretize_batch(
+            np.array([o.fps for o in observations]),
+            np.array([o.psnr_db for o in observations]),
+            np.array([o.bitrate_mbps for o in observations]),
+            np.array([o.power_w for o in observations]),
+        )
+        batch = space.state_index_batch(bins)
+        scalar = [space.state_index(space.discretize(o)) for o in observations]
+        assert batch.tolist() == scalar
+
+    def test_out_of_range_state_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.state_index(SystemState(space.num_fps_bins, 0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            space.state_index(SystemState(0, 0, 0, -1))
+
+    def test_out_of_range_index_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.index_to_state(space.size)
+        with pytest.raises(ConfigurationError):
+            space.index_to_state(-1)

@@ -131,3 +131,63 @@ class TestPresets:
             preset=Preset.MEDIUM,
         )
         assert session.preset_for(video) is Preset.MEDIUM
+
+
+class TestDrivenStepProtocol:
+    """commit_driven_step: the batch MAMUT driver's commit entry point."""
+
+    def commit_args(self, session):
+        from repro.core.observation import Observation
+        from repro.metrics.records import FrameRecord
+
+        video = session.current_video
+        record = FrameRecord(
+            session_id=session.session_id,
+            step=session.step,
+            video_name=video.name,
+            frame_index=session.frame_index,
+            resolution_class=video.resolution_class,
+            qp=32,
+            threads=4,
+            frequency_ghz=3.2,
+            fps=30.0,
+            psnr_db=40.0,
+            bitrate_mbps=2.0,
+            encode_time_s=0.03,
+            power_w=100.0,
+            target_fps=session.request.target_fps,
+        )
+        observation = Observation(
+            fps=30.0, psnr_db=40.0, bitrate_mbps=2.0, power_w=100.0
+        )
+        return record, observation
+
+    def test_advances_like_commit_step_result(self):
+        session = make_session(num_frames=3)
+        record, observation = self.commit_args(session)
+        session.commit_driven_step(record, observation)
+        assert session.step == 1
+        assert session.frame_index == 1
+        assert session.records == [record]
+        assert session.last_observation == observation
+
+    def test_rejected_with_prepare_in_flight(self):
+        session = make_session()
+        session.prepare()
+        record, observation = self.commit_args(session)
+        with pytest.raises(ScenarioError):
+            session.commit_driven_step(record, observation)
+
+    def test_rejected_with_peek_in_flight(self):
+        session = make_session()
+        session.peek_decision()
+        with pytest.raises(ScenarioError):
+            session.commit_driven_step(None, None)
+
+    def test_rejected_after_finish(self):
+        session = make_session(num_frames=1)
+        record, observation = self.commit_args(session)
+        session.commit_driven_step(record, observation)
+        assert not session.active
+        with pytest.raises(ScenarioError):
+            session.commit_driven_step(record, observation)
