@@ -9,12 +9,17 @@ paper's schedule against a uniform schedule where all three agents act every
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.config import MamutConfig
 from repro.core.mamut import MamutController
 from repro.core.schedule import AgentSchedule, AgentSlot
 from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.ablation_agent_periods")
 
 
 def _factory(schedule_builder):
@@ -57,8 +62,8 @@ def test_ablation_agent_periods(run_once):
         [label, r.qos_violation_pct, r.mean_power_w, r.mean_frequency_ghz]
         for label, r in results.items()
     ]
-    print("\nAblation — agent activation periods (1HR + 1LR, Scenario I)")
-    print(format_table(["schedule", "Δ (%)", "Power (W)", "Freq (GHz)"], rows))
+    _LOG.info("\nAblation — agent activation periods (1HR + 1LR, Scenario I)")
+    _LOG.info(format_table(["schedule", "Δ (%)", "Power (W)", "Freq (GHz)"], rows))
 
     assert len(results) == 2
     assert all(r.mean_power_w > 40.0 for r in results.values())

@@ -8,11 +8,16 @@ space faster but disturbs QoS while it lasts.
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.config import MamutConfig
 from repro.core.mamut import MamutController
 from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.ablation_exploration")
 
 EPSILONS = (0.05, 0.15, 0.5)
 
@@ -44,8 +49,8 @@ def test_ablation_exploration(run_once):
         [label, r.qos_violation_pct, r.mean_power_w, r.mean_fps]
         for label, r in results.items()
     ]
-    print("\nAblation — exploration epsilon (1HR + 1LR, Scenario I)")
-    print(format_table(["setting", "Δ (%)", "Power (W)", "FPS"], rows))
+    _LOG.info("\nAblation — exploration epsilon (1HR + 1LR, Scenario I)")
+    _LOG.info(format_table(["setting", "Δ (%)", "Power (W)", "FPS"], rows))
 
     assert len(results) == len(EPSILONS)
     assert all(0.0 <= r.qos_violation_pct <= 100.0 for r in results.values())

@@ -10,12 +10,17 @@ ablation runs MAMUT on the same workload with the paper's learning rate
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.config import MamutConfig
 from repro.core.learning_rate import LearningRateParameters
 from repro.core.mamut import MamutController
 from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.ablation_learning_rate")
 
 
 def _factory(beta_prime: float):
@@ -48,8 +53,8 @@ def test_ablation_learning_rate(run_once):
         [label, r.qos_violation_pct, r.mean_power_w, r.mean_fps]
         for label, r in results.items()
     ]
-    print("\nAblation — learning-rate function (1HR + 1LR, Scenario I)")
-    print(format_table(["learning rate", "Δ (%)", "Power (W)", "FPS"], rows))
+    _LOG.info("\nAblation — learning-rate function (1HR + 1LR, Scenario I)")
+    _LOG.info(format_table(["learning rate", "Δ (%)", "Power (W)", "FPS"], rows))
 
     assert set(results) == {"Eq.3 (beta'=0.2)", "visit-count only (beta'=0)"}
     assert all(0.0 <= r.qos_violation_pct <= 100.0 for r in results.values())

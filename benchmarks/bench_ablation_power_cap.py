@@ -8,10 +8,15 @@ leaves the controller free to spend power on throughput.
 
 from __future__ import annotations
 
+import logging
+
 from repro.manager.factories import mamut_factory
 from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.ablation_power_cap")
 
 POWER_CAPS_W = (95.0, 110.0, 130.0)
 
@@ -38,8 +43,8 @@ def test_ablation_power_cap(run_once):
         [f"{cap:.0f}", r.mean_power_w, r.qos_violation_pct, r.mean_frequency_ghz]
         for cap, r in results.items()
     ]
-    print("\nAblation — power-cap sweep (2HR + 2LR, MAMUT)")
-    print(format_table(["cap (W)", "Power (W)", "Δ (%)", "Freq (GHz)"], rows))
+    _LOG.info("\nAblation — power-cap sweep (2HR + 2LR, MAMUT)")
+    _LOG.info(format_table(["cap (W)", "Power (W)", "Δ (%)", "Freq (GHz)"], rows))
 
     assert len(results) == len(POWER_CAPS_W)
     tight = results[POWER_CAPS_W[0]]

@@ -10,12 +10,17 @@ pre-trained on catalog content of the same resolution classes
 
 from __future__ import annotations
 
+import logging
+
 from repro.manager.factories import mamut_factory
 from repro.manager.pretrain import pretrain_mamut, pretrained_mamut_factory
 from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.metrics.report import format_table
 from repro.video.sequence import ResolutionClass
+
+
+_LOG = logging.getLogger("repro.benchmarks.ablation_pretraining")
 
 
 def _run_comparison():
@@ -42,8 +47,8 @@ def test_ablation_pretraining(run_once):
         [label, r.qos_violation_pct, r.mean_power_w, r.mean_fps]
         for label, r in results.items()
     ]
-    print("\nAblation — cold start vs. pre-trained MAMUT (1HR + 1LR, Scenario I)")
-    print(format_table(["controller", "Δ (%)", "Power (W)", "FPS"], rows))
+    _LOG.info("\nAblation — cold start vs. pre-trained MAMUT (1HR + 1LR, Scenario I)")
+    _LOG.info(format_table(["controller", "Δ (%)", "Power (W)", "FPS"], rows))
 
     cold = results["MAMUT (cold start)"]
     warm = results["MAMUT (pre-trained)"]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import math
 import platform
 from pathlib import Path
@@ -43,6 +44,9 @@ from repro.cluster import (
 )
 from repro.manager.factories import static_factory
 from repro.metrics.report import format_table
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.benchmarks.autoscale")
 
 SESSIONS_PER_SERVER = 4
 MAX_QUEUE = 24
@@ -108,20 +112,7 @@ def _run_fleet(scenario: dict, servers: int, max_servers: int, autoscaler) -> di
         max_servers=max_servers,
         provision_warmup_steps=3,
     )
-    summary = cluster.run(scenario["duration"]).summary()
-    return {
-        "arrivals": summary.arrivals,
-        "admitted": summary.admitted,
-        "rejected": summary.rejected,
-        "abandoned": summary.abandoned,
-        "mean_fleet_size": summary.mean_fleet_size,
-        "peak_fleet_size": summary.peak_fleet_size,
-        "scale_up_events": summary.scale_up_events,
-        "scale_down_events": summary.scale_down_events,
-        "fleet_energy_kj": summary.fleet_energy_j / 1000.0,
-        "qos_violation_pct": summary.qos_violation_pct,
-        "transient_qos_violation_pct": summary.transient_qos_violation_pct,
-    }
+    return cluster.run(scenario["duration"]).summary().to_dict()
 
 
 def run_benchmark(smoke: bool) -> dict:
@@ -166,8 +157,8 @@ def run_benchmark(smoke: bool) -> dict:
             "fleets": results,
         }
 
-        print(f"\n=== {name} (mean fleet {mean_servers}, peak fleet {peak_servers}) ===")
-        print(
+        _LOG.info(f"\n=== {name} (mean fleet {mean_servers}, peak fleet {peak_servers}) ===")
+        _LOG.info(
             format_table(
                 [
                     "fleet",
@@ -185,7 +176,7 @@ def run_benchmark(smoke: bool) -> dict:
                         r["rejected"],
                         r["mean_fleet_size"],
                         r["peak_fleet_size"],
-                        r["fleet_energy_kj"],
+                        r["fleet_energy_j"] / 1000.0,
                         r["qos_violation_pct"],
                     ]
                     for label, r in results.items()
@@ -209,7 +200,14 @@ def main() -> None:
         default=Path(__file__).resolve().parent.parent / "BENCH_autoscale.json",
         help="where to write the JSON results",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
     args = parser.parse_args()
+    configure_logging(args.log_level)
 
     payload = run_benchmark(args.smoke)
 
@@ -223,11 +221,11 @@ def main() -> None:
             <= flash["fixed-mean"]["abandoned"] + flash["fixed-mean"]["rejected"]
         )
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"\nsmoke ok, wrote {args.output}")
+        _LOG.info(f"\nsmoke ok, wrote {args.output}")
         return
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    _LOG.info(f"\nwrote {args.output}")
 
     # The acceptance claim (also pinned by tests/test_cluster_autoscale.py).
     assert flash["reactive"]["abandoned"] < flash["fixed-mean"]["abandoned"], (
@@ -241,7 +239,7 @@ def main() -> None:
         "reactive autoscaling should hold a lower time-weighted fleet size "
         "than the peak-sized fixed fleet"
     )
-    print("flash-crowd acceptance claims hold")
+    _LOG.info("flash-crowd acceptance claims hold")
 
 
 if __name__ == "__main__":

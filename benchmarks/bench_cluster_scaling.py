@@ -8,6 +8,8 @@ capacity planner trades off when sizing a transcoding fleet.
 
 from __future__ import annotations
 
+import logging
+
 from repro.cluster import (
     CapacityThreshold,
     ClusterOrchestrator,
@@ -17,6 +19,9 @@ from repro.cluster import (
 )
 from repro.metrics.cluster import ClusterSummary
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.cluster_scaling")
 
 SERVER_COUNTS = (1, 2, 4)
 ARRIVAL_RATES = {"low": 0.2, "high": 1.0}
@@ -61,8 +66,8 @@ def test_cluster_scaling(run_once):
         ]
         for (servers, label), summary in results.items()
     ]
-    print("\nCluster scaling — servers x arrival rate")
-    print(
+    _LOG.info("\nCluster scaling — servers x arrival rate")
+    _LOG.info(
         format_table(
             ["cell", "arrivals", "admitted", "rej (%)", "Δ (%)", "W/session", "fleet W"],
             rows,

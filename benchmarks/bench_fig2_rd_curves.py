@@ -7,8 +7,13 @@ number of WPP threads (1, 2, 4, 6, 8, 10) and QP (22, 27, 32, 37).
 
 from __future__ import annotations
 
+import logging
+
 from repro.analysis.figures import fig2_characterization
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.fig2_rd_curves")
 
 
 def test_fig2_rd_curves(run_once):
@@ -24,8 +29,8 @@ def test_fig2_rd_curves(run_once):
         [p.threads, p.qp, p.fps, p.power_w, p.psnr_db, p.bandwidth_mbytes_per_s]
         for p in points
     ]
-    print("\nFigure 2 — threads x QP characterisation (1080p, ultrafast, 3.2 GHz)")
-    print(
+    _LOG.info("\nFigure 2 — threads x QP characterisation (1080p, ultrafast, 3.2 GHz)")
+    _LOG.info(
         format_table(
             ["threads", "QP", "FPS", "Power (W)", "PSNR (dB)", "BW (MB/s)"],
             rows,

@@ -11,10 +11,15 @@ session) to keep the regeneration time reasonable; pass larger values through
 
 from __future__ import annotations
 
+import logging
+
 from collections import defaultdict
 
 from repro.analysis.tables import fig4_scenario_one_sweep
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.fig4_scenario1")
 
 
 def test_fig4_scenario1(run_once):
@@ -30,8 +35,8 @@ def test_fig4_scenario1(run_once):
     table = [
         [r.workload, r.controller, r.qos_violation_pct, r.power_w] for r in rows
     ]
-    print("\nFigure 4 — Scenario I: QoS violations (Δ, %) and power (W)")
-    print(format_table(["workload", "controller", "Δ (%)", "Power (W)"], table))
+    _LOG.info("\nFigure 4 — Scenario I: QoS violations (Δ, %) and power (W)")
+    _LOG.info(format_table(["workload", "controller", "Δ (%)", "Power (W)"], table))
 
     assert rows, "the sweep must produce at least one row"
     assert all(0.0 <= r.qos_violation_pct <= 100.0 for r in rows)

@@ -8,10 +8,15 @@ before the agents settle).
 
 from __future__ import annotations
 
+import logging
+
 import statistics
 
 from repro.analysis.figures import fig5_trace
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.fig5_trace")
 
 
 def test_fig5_trace(run_once):
@@ -31,8 +36,8 @@ def test_fig5_trace(run_once):
                 statistics.mean(trace["frequency_ghz"][sl]),
             ]
         )
-    print("\nFigure 5 — MAMUT trace on one HR video (50-frame window means)")
-    print(
+    _LOG.info("\nFigure 5 — MAMUT trace on one HR video (50-frame window means)")
+    _LOG.info(
         format_table(
             ["frames", "FPS", "PSNR (dB)", "QP", "threads", "freq (GHz)"],
             rows,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import platform
 from pathlib import Path
 
@@ -44,6 +45,9 @@ from repro.cluster import (
 )
 from repro.manager.factories import static_factory
 from repro.metrics.report import format_table
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.benchmarks.overload")
 
 SERVERS = 2
 SESSIONS_PER_SERVER = 4
@@ -112,23 +116,12 @@ def _run_config(scenario: dict, *, max_queue: int, patience, brownout) -> dict:
         for session in server.values()
         for record in session
     ]
-    return {
-        "arrivals": summary.arrivals,
-        "admitted": summary.admitted,
-        "rejected": summary.rejected,
-        "dropped": summary.dropped,
-        "abandoned": summary.abandoned,
-        "shed_rate": summary.shed_rate,
-        "degraded_sessions": summary.degraded_sessions,
-        "brownout_steps": summary.brownout_steps,
-        "mean_queue_wait_steps": summary.mean_queue_wait_steps,
-        "qos_violation_pct": summary.qos_violation_pct,
-        "mean_fps": summary.mean_fps,
-        "mean_psnr_db": (
-            sum(r.psnr_db for r in records) / len(records) if records else 0.0
-        ),
-        "fleet_energy_kj": summary.fleet_energy_j / 1000.0,
-    }
+    out = summary.to_dict()
+    # Derived metric the summary does not carry; from_dict ignores it.
+    out["mean_psnr_db"] = (
+        sum(r.psnr_db for r in records) / len(records) if records else 0.0
+    )
+    return out
 
 
 def make_brownout() -> BrownoutController:
@@ -166,8 +159,8 @@ def run_benchmark(smoke: bool) -> dict:
         label: _run_config(scenario, **config) for label, config in configs.items()
     }
 
-    print("=== flash crowd, fixed fleet, three overload-control configs ===")
-    print(
+    _LOG.info("=== flash crowd, fixed fleet, three overload-control configs ===")
+    _LOG.info(
         format_table(
             [
                 "config",
@@ -188,7 +181,7 @@ def run_benchmark(smoke: bool) -> dict:
                     r["degraded_sessions"],
                     r["qos_violation_pct"],
                     r["mean_psnr_db"],
-                    r["fleet_energy_kj"],
+                    r["fleet_energy_j"] / 1000.0,
                 ]
                 for label, r in results.items()
             ],
@@ -227,11 +220,18 @@ def main() -> None:
         default=Path(__file__).resolve().parent.parent / "BENCH_overload.json",
         help="where to write the JSON results",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
     args = parser.parse_args()
+    configure_logging(args.log_level)
 
     payload = run_benchmark(args.smoke)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    _LOG.info(f"\nwrote {args.output}")
 
     # The acceptance claim (also pinned by tests/test_cluster_overload.py):
     # brownout serves everyone where both baselines shed load.
@@ -250,7 +250,7 @@ def main() -> None:
         assert shed > 0, f"{label} should shed load on the flash crowd"
     # The price of serving everyone is quality, not power.
     assert brownout["mean_psnr_db"] < results["patient-queue"]["mean_psnr_db"]
-    print("overload acceptance claims hold")
+    _LOG.info("overload acceptance claims hold")
 
 
 if __name__ == "__main__":

@@ -22,13 +22,19 @@ The full run asserts the batch engine's speedup floor at 64+ servers (>= 5x
 for static controllers, >= 3x for MAMUT learning controllers, whose
 per-session RNG draws and Q updates are irreducibly scalar); the smoke run
 only checks that both engines step a tiny fleet and agree on the session
-count (a rot canary for the batch path, cheap enough for CI).
+count (a rot canary for the batch path, cheap enough for CI).  Both modes
+also guard the telemetry contract: a disabled profiler hook on the hot path
+must stay within :data:`OVERHEAD_BOUND_US` per call.  ``--profile`` runs an
+instrumented pass per engine and reports where the step time goes
+(gather/evaluate/scatter/mamut for batch; decide/allocate/execute for
+scalar).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import platform
 import time
 from pathlib import Path
@@ -42,12 +48,26 @@ from repro.cluster import (
 )
 from repro.cluster.workload import TrafficModel
 from repro.manager.factories import mamut_factory, static_factory
+from repro.telemetry import (
+    LOG_LEVELS,
+    NULL_PROFILER,
+    StepProfiler,
+    configure_logging,
+)
+
+_LOG = logging.getLogger("repro.benchmarks.step_throughput")
 
 FULL_FLEETS = (1, 8, 64, 256)
 SMOKE_FLEETS = (1, 4)
 SESSIONS_PER_SERVER = 2
 SPEEDUP_FLOORS = {"static": 5.0, "mamut": 3.0}
 SPEEDUP_FLOOR_FROM_SERVERS = 64
+
+#: Ceiling on the cost of one *disabled* profiler hook (the null context
+#: manager every engine phase enters even with telemetry off).  Generous —
+#: the observed cost is well under a microsecond — but low enough to catch
+#: an accidental always-on timer or allocation sneaking onto the hot path.
+OVERHEAD_BOUND_US = 5.0
 
 
 class Burst(TrafficModel):
@@ -125,6 +145,76 @@ def _measure(servers: int, steps: int, controller: str, engine: str) -> dict:
     }
 
 
+def _profile(servers: int, steps: int, controller: str, engine: str) -> dict:
+    """Run one instrumented pass and return the per-phase attribution."""
+    cluster = _build_cluster(servers, steps, controller, engine)
+    cluster.run(1, drain=False)
+    profiler = StepProfiler()
+    if engine == "batch":
+        stepper = BatchStepper(cluster.orchestrators, profiler=profiler)
+        for step in range(1, steps + 1):
+            stepper.step(step)
+            profiler.count_step()
+    else:
+        for orch in cluster.orchestrators:
+            orch.profiler = profiler
+        for step in range(1, steps + 1):
+            for orch in cluster.orchestrators:
+                if orch.run_step(step) is None:
+                    orch.idle_step(step)
+            profiler.count_step()
+    return profiler.report()
+
+
+def profile_engines(servers: int, steps: int, controller: str) -> dict:
+    """Report where the step time goes, per engine (``--profile``)."""
+    reports = {}
+    for engine in ("scalar", "batch"):
+        report = _profile(servers, steps, controller, engine)
+        reports[engine] = report
+        _LOG.info(
+            "profile %s: servers=%d steps=%d %.1f steps/s",
+            engine,
+            servers,
+            report["steps"],
+            report["steps_per_s"],
+        )
+        for phase in report["phases"]:
+            _LOG.info(
+                "  %-10s %8.2f ms  %6d calls  %5.1f%%",
+                phase["name"],
+                phase["total_s"] * 1e3,
+                phase["calls"],
+                phase["share"] * 100.0,
+            )
+    return reports
+
+
+def check_disabled_overhead(calls: int = 100_000) -> float:
+    """Assert a disabled profiler hook costs < OVERHEAD_BOUND_US per call.
+
+    This is the "zero overhead when disabled" guard: every engine phase
+    enters this null context manager even with telemetry off, so its cost
+    bounds what the telemetry subsystem adds to an uninstrumented run.
+    """
+    phase = NULL_PROFILER.phase
+    start = time.perf_counter()
+    for _ in range(calls):
+        with phase("evaluate"):
+            pass
+    per_call_us = (time.perf_counter() - start) / calls * 1e6
+    assert per_call_us < OVERHEAD_BOUND_US, (
+        f"disabled telemetry hook costs {per_call_us:.2f}us per call "
+        f"(bound {OVERHEAD_BOUND_US}us) — the null profiler is no longer free"
+    )
+    _LOG.info(
+        "disabled-telemetry hook: %.3fus per call (bound %.1fus) ok",
+        per_call_us,
+        OVERHEAD_BOUND_US,
+    )
+    return per_call_us
+
+
 def run_benchmark(
     fleets: tuple[int, ...], steps: int, controller: str
 ) -> dict:
@@ -136,11 +226,14 @@ def run_benchmark(
         results.extend([scalar, batch])
         speedup = batch["steps_per_s"] / scalar["steps_per_s"]
         speedups[str(servers)] = speedup
-        print(
-            f"servers={servers:4d} sessions={batch['sessions']:4d} "
-            f"scalar={scalar['steps_per_s']:9.1f} steps/s "
-            f"batch={batch['steps_per_s']:9.1f} steps/s "
-            f"speedup={speedup:5.2f}x"
+        _LOG.info(
+            "servers=%4d sessions=%4d scalar=%9.1f steps/s "
+            "batch=%9.1f steps/s speedup=%5.2fx",
+            servers,
+            batch["sessions"],
+            scalar["steps_per_s"],
+            batch["steps_per_s"],
+            speedup,
         )
     return {
         "benchmark": "step_throughput",
@@ -227,12 +320,32 @@ def main() -> None:
         default=Path(__file__).resolve().parent.parent / "BENCH_throughput.json",
         help="where to write the JSON results (skipped in smoke mode)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run an instrumented pass per engine and report per-phase "
+        "wall time (gather/evaluate/scatter/mamut vs. decide/allocate/execute)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
     args = parser.parse_args()
+    configure_logging(args.log_level)
 
     fleets = SMOKE_FLEETS if args.smoke else FULL_FLEETS
     steps = args.steps if args.steps is not None else (6 if args.smoke else 60)
 
+    # Telemetry contract: the disabled hooks the timed loops just ran
+    # through must be effectively free.
+    check_disabled_overhead()
+
     payload = run_benchmark(fleets, steps, args.controller)
+
+    if args.profile:
+        profile_engines(max(fleets), steps, args.controller)
 
     if args.smoke:
         # Rot canary: both engines stepped a saturated fleet.
@@ -242,11 +355,11 @@ def main() -> None:
         }
         for servers in fleets:
             assert counts[(servers, "scalar")] == counts[(servers, "batch")] > 0
-        print("smoke ok")
+        _LOG.info("smoke ok")
         return
 
     merge_into_output(payload, args.output)
-    print(f"merged {args.controller} rows into {args.output}")
+    _LOG.info("merged %s rows into %s", args.controller, args.output)
 
     floor = SPEEDUP_FLOORS[args.controller]
     floor_fleets = [s for s in fleets if s >= SPEEDUP_FLOOR_FROM_SERVERS]
@@ -257,8 +370,10 @@ def main() -> None:
             f"{speedup:.2f}x at {servers} servers (floor {floor}x)"
         )
     if floor_fleets:
-        print(
-            f"speedup floor ({floor}x at 64+ servers, {args.controller}) holds"
+        _LOG.info(
+            "speedup floor (%sx at 64+ servers, %s) holds",
+            floor,
+            args.controller,
         )
 
 

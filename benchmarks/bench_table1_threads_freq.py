@@ -9,8 +9,13 @@ frequency.
 
 from __future__ import annotations
 
+import logging
+
 from repro.analysis.tables import table1_threads_frequency
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.table1_threads_freq")
 
 
 def test_table1_threads_frequency(run_once):
@@ -24,8 +29,8 @@ def test_table1_threads_frequency(run_once):
     )
 
     table = [[r.controller, r.resolution_class, r.mean_threads, r.mean_frequency_ghz] for r in rows]
-    print("\nTable I — average threads and frequency (2HR + 2LR, Scenario I)")
-    print(format_table(["controller", "class", "Nth", "Freq (GHz)"], table, "{:.2f}"))
+    _LOG.info("\nTable I — average threads and frequency (2HR + 2LR, Scenario I)")
+    _LOG.info(format_table(["controller", "class", "Nth", "Freq (GHz)"], table, "{:.2f}"))
 
     by_key = {(r.controller, r.resolution_class): r for r in rows}
     assert set(by_key) == {

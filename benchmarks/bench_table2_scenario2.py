@@ -8,10 +8,15 @@ followed by four randomly selected videos of the same resolution.
 
 from __future__ import annotations
 
+import logging
+
 from collections import defaultdict
 
 from repro.analysis.tables import table2_scenario_two
 from repro.metrics.report import format_table
+
+
+_LOG = logging.getLogger("repro.benchmarks.table2_scenario2")
 
 MIXES = ((1, 1), (1, 2), (2, 1), (2, 2), (2, 3), (2, 4), (3, 1), (3, 2), (3, 3))
 
@@ -30,8 +35,8 @@ def test_table2_scenario2(run_once):
         [r.workload, r.controller, r.power_w, r.mean_threads, r.mean_fps, r.qos_violation_pct]
         for r in rows
     ]
-    print("\nTable II — Scenario II averages")
-    print(
+    _LOG.info("\nTable II — Scenario II averages")
+    _LOG.info(
         format_table(
             ["mix", "controller", "Watts", "Nth", "FPS", "Δ (%)"], table, "{:.1f}"
         )

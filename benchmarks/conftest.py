@@ -1,14 +1,20 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures and prints
-the corresponding rows/series (run pytest with ``-s`` to see them).  The
-pytest-benchmark fixture is used with a single round so the timing reflects
-one full regeneration of the experiment.
+Every benchmark regenerates one of the paper's tables or figures and logs
+the corresponding rows/series on the ``repro`` logger (run pytest with
+``-s`` to see them).  The pytest-benchmark fixture is used with a single
+round so the timing reflects one full regeneration of the experiment.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.telemetry import configure_logging
+
+# The table/figure benches report through the "repro" logger; give it its
+# stdout handler up front so `pytest -s` shows the rows as before.
+configure_logging("info")
 
 
 @pytest.fixture

@@ -22,6 +22,9 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro.cluster import (
     CapacityThreshold,
     ClusterOrchestrator,
@@ -33,6 +36,10 @@ from repro.cluster import (
     WorkloadGenerator,
 )
 from repro.metrics.report import format_table
+
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.autoscaling_fleet")
 
 DURATION = 300          # arrival window, in cluster steps
 FRAMES_PER_VIDEO = 36   # one step transcodes one frame
@@ -75,6 +82,14 @@ def run_fleet(label, autoscaler):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     results = [
         run_fleet("fixed (mean-sized)", None),
         run_fleet(
@@ -90,8 +105,8 @@ def main() -> None:
         ),
     ]
 
-    print("=== Diurnal + flash-crowd day, identical seeds, three fleets ===")
-    print(
+    _LOG.info("=== Diurnal + flash-crowd day, identical seeds, three fleets ===")
+    _LOG.info(
         format_table(
             [
                 "fleet",
@@ -120,8 +135,8 @@ def main() -> None:
         )
     )
 
-    print("\nScaling activity:")
-    print(
+    _LOG.info("\nScaling activity:")
+    _LOG.info(
         format_table(
             ["fleet", "ups", "downs", "added", "removed", "transient Δ (%)"],
             [

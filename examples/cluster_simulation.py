@@ -14,6 +14,9 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro.cluster import (
     CapacityThreshold,
     ClusterOrchestrator,
@@ -25,11 +28,23 @@ from repro.cluster import (
 )
 from repro.metrics.report import format_table
 
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.cluster_simulation")
+
 SERVERS = 4
 DURATION = 400  # arrival window, in cluster steps
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     # A "day" of 400 steps with a 4x flash crowd during the evening peak.
     traffic = CompositeTraffic(
         [
@@ -49,8 +64,8 @@ def main() -> None:
     )
     summary = cluster.run(DURATION).summary()
 
-    print(f"=== Fleet of {SERVERS} servers, diurnal + flash-crowd traffic ===")
-    print(
+    _LOG.info(f"=== Fleet of {SERVERS} servers, diurnal + flash-crowd traffic ===")
+    _LOG.info(
         format_table(
             ["metric", "value"],
             [
@@ -68,8 +83,8 @@ def main() -> None:
         )
     )
 
-    print("\nPer-server breakdown:")
-    print(
+    _LOG.info("\nPer-server breakdown:")
+    _LOG.info(
         format_table(
             ["server", "sessions", "util (%)", "power (W)", "Δ (%)"],
             [

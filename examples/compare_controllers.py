@@ -13,14 +13,29 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro import ExperimentRunner, heuristic_factory, mamut_factory, monoagent_factory
 from repro.manager.scenario import scenario_label, scenario_one
 from repro.metrics.report import format_table
 
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.compare_controllers")
+
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     specs = scenario_one(num_hr=1, num_lr=1, num_frames=360, seed=3)
-    print(f"Workload: Scenario I, {scenario_label(specs)}, 360 frames per video")
+    _LOG.info(f"Workload: Scenario I, {scenario_label(specs)}, 360 frames per video")
 
     runner = ExperimentRunner(power_cap_w=120.0, seed=3)
     results = runner.compare(
@@ -46,8 +61,8 @@ def main() -> None:
         ]
         for label, r in results.items()
     ]
-    print("\n=== Controller comparison (averages over 2 repetitions) ===")
-    print(
+    _LOG.info("\n=== Controller comparison (averages over 2 repetitions) ===")
+    _LOG.info(
         format_table(
             ["controller", "Δ (%)", "Power (W)", "FPS", "Nth", "Freq (GHz)", "PSNR (dB)"],
             rows,
@@ -63,7 +78,7 @@ def main() -> None:
         qos_text = f"{qos_factor:.1f}x fewer QoS violations"
     else:
         qos_text = "no QoS violations"
-    print(
+    _LOG.info(
         f"\nMAMUT vs heuristic: {power_saving:.1f}% power reduction, {qos_text} "
         "(the paper reports up to 24% and 8x on its full-scale testbed)."
     )

@@ -15,6 +15,9 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro import (
     MamutConfig,
     MamutController,
@@ -32,6 +35,10 @@ from repro.platform.dvfs import DvfsDriver
 from repro.platform.power import PowerModel, PowerModelParameters
 from repro.platform.server import MulticoreServer
 from repro.platform.topology import CpuTopology
+
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.custom_agent_platform")
 
 
 def build_small_server() -> MulticoreServer:
@@ -67,6 +74,14 @@ def build_controller(request: TranscodingRequest) -> MamutController:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     server = build_small_server()
     sequence = make_sequence("ParkScene", num_frames=400, seed=1)
     request = TranscodingRequest(user_id="edge-node", sequence=sequence)
@@ -77,8 +92,8 @@ def main() -> None:
     summary = result.summary()
     per_session = summary.sessions["edge-node"]
 
-    print("=== MAMUT on a custom 8-core platform with a reduced design space ===")
-    print(
+    _LOG.info("=== MAMUT on a custom 8-core platform with a reduced design space ===")
+    _LOG.info(
         format_table(
             ["metric", "value"],
             [
@@ -93,17 +108,17 @@ def main() -> None:
     )
 
     # The server mirrors its last allocation into the sysfs-like DVFS driver.
-    print("\nPer-core frequencies after the last step (via the sysfs facade):")
+    _LOG.info("\nPer-core frequencies after the last step (via the sysfs facade):")
     for core in server.topology.core_ids():
         khz = server.dvfs.sysfs_read(
             f"/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_cur_freq"
         )
-        print(f"  cpu{core}: {int(khz) / 1e6:.1f} GHz")
+        _LOG.info(f"  cpu{core}: {int(khz) / 1e6:.1f} GHz")
 
     # A short excerpt of the agent activation history.
-    print("\nLast five agent activations:")
+    _LOG.info("\nLast five agent activations:")
     for activation in controller.history[-5:]:
-        print(
+        _LOG.info(
             f"  frame {activation.frame_index:4d}  {activation.agent:8s} "
             f"-> {activation.action_value}  ({activation.phase.value})"
         )

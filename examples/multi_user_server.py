@@ -13,20 +13,35 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro import ExperimentRunner, mamut_factory
 from repro.manager.scenario import scenario_label, scenario_two
 from repro.metrics.report import format_table
 
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.multi_user_server")
+
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     # Two HR users and two LR users, each transcoding an initial video
     # followed by two randomly selected videos of the same resolution.
     specs = scenario_two(num_hr=2, num_lr=2, followers=2, frames_per_video=150, seed=7)
-    print(f"Workload: {scenario_label(specs)} "
+    _LOG.info(f"Workload: {scenario_label(specs)} "
           f"({sum(spec.total_frames for spec in specs)} frames in total)")
     for spec in specs:
         names = ", ".join(video.name for video in spec.playlist)
-        print(f"  {spec.request.user_id:6s} [{spec.resolution_class.value}] -> {names}")
+        _LOG.info(f"  {spec.request.user_id:6s} [{spec.resolution_class.value}] -> {names}")
 
     runner = ExperimentRunner(power_cap_w=120.0, seed=7)
     result = runner.run(
@@ -37,8 +52,8 @@ def main() -> None:
         warmup_videos=1,
     )
 
-    print("\n=== Server-level results (MAMUT) ===")
-    print(
+    _LOG.info("\n=== Server-level results (MAMUT) ===")
+    _LOG.info(
         format_table(
             ["metric", "value"],
             [
@@ -53,7 +68,7 @@ def main() -> None:
         )
     )
 
-    print("\nPer-resolution-class breakdown:")
+    _LOG.info("\nPer-resolution-class breakdown:")
     rows = []
     for resolution_class in ("HR", "LR"):
         if resolution_class in result.per_class_threads:
@@ -66,7 +81,7 @@ def main() -> None:
                     result.per_class_psnr_db[resolution_class],
                 ]
             )
-    print(format_table(["class", "Nth", "Freq (GHz)", "Δ (%)", "PSNR (dB)"], rows, "{:.2f}"))
+    _LOG.info(format_table(["class", "Nth", "Freq (GHz)", "Δ (%)", "PSNR (dB)"], rows, "{:.2f}"))
 
 
 if __name__ == "__main__":

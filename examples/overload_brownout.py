@@ -22,6 +22,9 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro.cluster import (
     BrownoutController,
     CapacityThreshold,
@@ -31,6 +34,10 @@ from repro.cluster import (
 )
 from repro.manager.factories import static_factory
 from repro.metrics.report import format_table
+
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.overload_brownout")
 
 SERVERS = 2
 SESSIONS_PER_SERVER = 4
@@ -70,6 +77,14 @@ def run_config(label, *, max_queue, patience, brownout, extra_sessions=0):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     brownout = BrownoutController(
         sessions_per_server=SESSIONS_PER_SERVER,
         enter_queue_per_server=2.0,
@@ -90,8 +105,8 @@ def main() -> None:
         ),
     ]
 
-    print("=== Flash crowd, fixed two-server fleet, identical seeds ===")
-    print(
+    _LOG.info("=== Flash crowd, fixed two-server fleet, identical seeds ===")
+    _LOG.info(
         format_table(
             [
                 "config",
@@ -123,15 +138,15 @@ def main() -> None:
     _, result, summary = runs[-1]
     active = [s for s in result.fleet_trace if s.brownout_level > 0]
     if active:
-        print(
+        _LOG.info(
             f"\nBrownout active for {summary.brownout_steps} steps "
             f"(steps {active[0].step}-{active[-1].step}); "
             f"{summary.degraded_sessions} of {summary.admitted} sessions "
             "served degraded, nobody shed."
         )
-    print("\nPer-step trace around the burst (brownout config):")
+    _LOG.info("\nPer-step trace around the burst (brownout config):")
     window = [s for s in result.fleet_trace if 35 <= s.step <= 80 and s.step % 5 == 0]
-    print(
+    _LOG.info(
         format_table(
             ["step", "arrivals", "queue", "active", "brownout", "dropped"],
             [

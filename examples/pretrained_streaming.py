@@ -18,6 +18,9 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro.manager.orchestrator import Orchestrator
 from repro.manager.pretrain import pretrain_mamut, pretrained_mamut_factory
 from repro.manager.scenario import scenario_one
@@ -27,9 +30,21 @@ from repro.platform.thermal import temperature_trace
 from repro.video.buffer import playback_stats_from_records
 from repro.video.sequence import ResolutionClass
 
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.pretrained_streaming")
+
 
 def main() -> None:
-    print("Pre-training MAMUT on HR and LR catalog content (done once, reusable)...")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
+    _LOG.info("Pre-training MAMUT on HR and LR catalog content (done once, reusable)...")
     knowledge = {
         ResolutionClass.HR: pretrain_mamut(ResolutionClass.HR, frames=1500, seed=0),
         ResolutionClass.LR: pretrain_mamut(ResolutionClass.LR, frames=1500, seed=0),
@@ -48,7 +63,7 @@ def main() -> None:
     result = Orchestrator(sessions).run()
     summary = result.summary()
 
-    print("\n=== Transcoding results with pre-trained controllers ===")
+    _LOG.info("\n=== Transcoding results with pre-trained controllers ===")
     rows = [
         [
             session_id,
@@ -60,9 +75,9 @@ def main() -> None:
         ]
         for session_id, s in summary.sessions.items()
     ]
-    print(format_table(["user", "FPS", "Δ (%)", "PSNR", "Nth", "Freq"], rows, "{:.2f}"))
+    _LOG.info(format_table(["user", "FPS", "Δ (%)", "PSNR", "Nth", "Freq"], rows, "{:.2f}"))
 
-    print("\n=== Viewer-side playback quality (client buffer model) ===")
+    _LOG.info("\n=== Viewer-side playback quality (client buffer model) ===")
     rows = []
     for session_id, records in result.records_by_session.items():
         stats = playback_stats_from_records(records)
@@ -75,7 +90,7 @@ def main() -> None:
                 100.0 * stats.stall_ratio,
             ]
         )
-    print(
+    _LOG.info(
         format_table(
             ["user", "startup (s)", "stalls", "stall time (s)", "stall ratio (%)"],
             rows,
@@ -84,10 +99,10 @@ def main() -> None:
     )
 
     temperatures = temperature_trace(result.power_samples)
-    print("\n=== Package thermals (lumped RC model) ===")
-    print(f"  mean power       : {summary.mean_power_w:6.1f} W")
-    print(f"  peak temperature : {max(temperatures):6.1f} °C")
-    print(f"  final temperature: {temperatures[-1]:6.1f} °C")
+    _LOG.info("\n=== Package thermals (lumped RC model) ===")
+    _LOG.info(f"  mean power       : {summary.mean_power_w:6.1f} W")
+    _LOG.info(f"  peak temperature : {max(temperatures):6.1f} °C")
+    _LOG.info(f"  final temperature: {temperatures[-1]:6.1f} °C")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import logging
+
 from repro import (
     MamutConfig,
     MamutController,
@@ -23,8 +26,20 @@ from repro import (
 from repro.metrics.qos import qos_violation_pct
 from repro.metrics.report import format_table
 
+from repro.telemetry import LOG_LEVELS, configure_logging
+
+_LOG = logging.getLogger("repro.examples.quickstart")
+
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
     # 1. The workload: a synthetic stand-in for the JCT-VC "Cactus" sequence.
     sequence = make_sequence("Cactus", num_frames=1200, seed=0)
     request = TranscodingRequest(user_id="alice", sequence=sequence, bandwidth_mbps=6.0)
@@ -39,8 +54,8 @@ def main() -> None:
     summary = result.summary()
     per_session = summary.sessions["alice"]
 
-    print("=== MAMUT quickstart: one HR video ===")
-    print(
+    _LOG.info("=== MAMUT quickstart: one HR video ===")
+    _LOG.info(
         format_table(
             ["metric", "value"],
             [
@@ -60,14 +75,14 @@ def main() -> None:
     # 4. Learning visibly improves QoS: compare the first and last thirds.
     records = result.records_by_session["alice"]
     third = len(records) // 3
-    print("\nQoS violations by phase of the run:")
-    print(f"  first third : {qos_violation_pct(records[:third]):5.1f} %")
-    print(f"  last third  : {qos_violation_pct(records[-third:]):5.1f} %")
+    _LOG.info("\nQoS violations by phase of the run:")
+    _LOG.info(f"  first third : {qos_violation_pct(records[:third]):5.1f} %")
+    _LOG.info(f"  last third  : {qos_violation_pct(records[-third:]):5.1f} %")
 
     # 5. Peek at the agents' knowledge.
-    print("\nAgent summaries:")
+    _LOG.info("\nAgent summaries:")
     for name, info in controller.summary().items():
-        print(
+        _LOG.info(
             f"  {name:8s} actions={info['actions']:2d} "
             f"visited_states={info['visited_states']:3d} q_entries={info['q_entries']}"
         )

@@ -57,6 +57,7 @@ from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.manager.session import TranscodingSession
 from repro.metrics.report import format_table
+from repro.telemetry import LOG_LEVELS, TelemetryConfig, configure_logging
 from repro.video.catalog import make_sequence
 from repro.video.request import TranscodingRequest
 
@@ -72,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     parser.add_argument(
         "--power-cap", type=float, default=DEFAULT_POWER_CAP_W, help="server power cap (W)"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the 'repro' logger (debug shows scaling/brownout transitions)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -233,8 +240,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="batch",
         help="stepping engine: vectorized NumPy batch (default) or scalar",
     )
+    cluster.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write request-lifecycle spans as JSONL to PATH",
+    )
+    cluster.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write final metrics in Prometheus text format to PATH",
+    )
+    cluster.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-phase engine wall time after the run",
+    )
     cluster.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     cluster.add_argument("--power-cap", type=float, default=argparse.SUPPRESS)
+    cluster.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=argparse.SUPPRESS
+    )
 
     return parser
 
@@ -454,7 +481,16 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         provision_warmup_steps=args.warmup_steps,
         brownout=brownout,
     )
-    summary = cluster.run(args.duration, drain=not args.no_drain).summary()
+    telemetry = None
+    if args.trace_out or args.metrics_out or args.profile:
+        telemetry = TelemetryConfig(
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            profile=args.profile,
+        )
+    summary = cluster.run(
+        args.duration, drain=not args.no_drain, telemetry=telemetry
+    ).summary()
 
     fleet_label = (
         f"{args.servers} servers"
@@ -519,6 +555,43 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
             float_format="{:.1f}",
         )
     )
+    if telemetry is not None:
+        _print_telemetry(cluster.telemetry)
+
+
+def _print_telemetry(telemetry) -> None:
+    """Print the run's telemetry section (trace/metrics paths, profile)."""
+    info = telemetry.summary()
+    print()
+    print("Telemetry:")
+    if "trace_events" in info:
+        path = f" -> {info['trace_path']}" if "trace_path" in info else ""
+        print(f"  trace: {info['trace_events']} spans{path}")
+    if "metrics" in info:
+        path = f" -> {info['metrics_path']}" if "metrics_path" in info else ""
+        print(f"  metrics: {info['metrics']} instruments{path}")
+    if "profile" in info:
+        profile = info["profile"]
+        print(
+            f"  profile: {profile['steps']} steps, "
+            f"{profile['steps_per_s']:.1f} steps/s over "
+            f"{profile['instrumented_s']:.3f}s instrumented"
+        )
+        print(
+            format_table(
+                ["phase", "total (s)", "calls", "share (%)"],
+                [
+                    [
+                        row["name"],
+                        row["total_s"],
+                        row["calls"],
+                        100.0 * row["share"],
+                    ]
+                    for row in profile["phases"]
+                ],
+                float_format="{:.3f}",
+            )
+        )
 
 
 _COMMANDS = {
@@ -537,6 +610,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     _COMMANDS[args.command](args)
     return 0
 

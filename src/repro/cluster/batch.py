@@ -70,6 +70,7 @@ from repro.manager.orchestrator import Orchestrator
 from repro.manager.session import TranscodingSession
 from repro.metrics.records import FrameRecord, PowerSample
 from repro.platform.dvfs import DvfsPolicy
+from repro.telemetry.profiler import NULL_PROFILER
 
 __all__ = ["BatchStepper"]
 
@@ -595,10 +596,18 @@ class BatchStepper:
         leave between steps (the roster is re-gathered automatically); the
         stepper reads each orchestrator's live ``active_sessions()`` exactly
         like the scalar engine does.
+    profiler:
+        Optional :class:`~repro.telemetry.profiler.StepProfiler`; when given,
+        each step charges its wall time to the engine's four phases
+        (``mamut`` activations, ``gather``, ``evaluate``, ``scatter``).
+        Timing is observe-only — results are bitwise identical either way.
     """
 
-    def __init__(self, orchestrators: Sequence[Orchestrator]) -> None:
+    def __init__(
+        self, orchestrators: Sequence[Orchestrator], profiler=None
+    ) -> None:
         self.orchestrators = list(orchestrators)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
         # Group identical voltage tables so heterogeneous fleets still
         # evaluate each distinct table in one vectorized call.
@@ -839,6 +848,7 @@ class BatchStepper:
 
         lanes = self._lanes
         n = len(lanes)
+        profiler = self.profiler
 
         # -- gather: controller decisions + per-frame content -------------------
         # Driver-managed MAMUT fleets run their activations (fleet-vectorized
@@ -846,243 +856,252 @@ class BatchStepper:
         # before their cached decisions are read; every other controller is
         # stepped through the per-session peek protocol.
         if self._driver is not None:
-            self._driver.advance()
+            with profiler.phase("mamut"):
+                self._driver.advance()
 
-        qp = np.empty(n, dtype=np.int64)
-        threads = np.empty(n, dtype=np.int64)
-        freq = np.empty(n)
-        if self._driver is not None:
-            driver = self._driver
-            qp[driver.positions] = driver.qp
-            threads[driver.positions] = driver.threads
-            freq[driver.positions] = driver.freq
-        for i in self._legacy_pos:
-            decision = lanes[i].session.peek_decision()
-            qp[i] = decision.qp
-            threads[i] = decision.threads
-            freq[i] = decision.frequency_ghz
+        with profiler.phase("gather"):
+            qp = np.empty(n, dtype=np.int64)
+            threads = np.empty(n, dtype=np.int64)
+            freq = np.empty(n)
+            if self._driver is not None:
+                driver = self._driver
+                qp[driver.positions] = driver.qp
+                threads[driver.positions] = driver.threads
+                freq[driver.positions] = driver.freq
+            for i in self._legacy_pos:
+                decision = lanes[i].session.peek_decision()
+                qp[i] = decision.qp
+                threads[i] = decision.threads
+                freq[i] = decision.frequency_ghz
 
-        fidx_l: list[int] = []
-        cx_l: list[float] = []
-        mo_l: list[float] = []
-        sc_l: list[bool] = []
-        for lane in lanes:
-            frame_index = lane.session.frame_index
-            fidx_l.append(frame_index)
-            cx_l.append(lane.complexity_col[frame_index])
-            mo_l.append(lane.motion_col[frame_index])
-            sc_l.append(lane.scene_col[frame_index])
+            fidx_l: list[int] = []
+            cx_l: list[float] = []
+            mo_l: list[float] = []
+            sc_l: list[bool] = []
+            for lane in lanes:
+                frame_index = lane.session.frame_index
+                fidx_l.append(frame_index)
+                cx_l.append(lane.complexity_col[frame_index])
+                mo_l.append(lane.motion_col[frame_index])
+                sc_l.append(lane.scene_col[frame_index])
 
-        # Decision.__post_init__ already enforces threads >= 1 and a positive
-        # frequency; QP is only range-checked by EncoderConfig, which the
-        # batch path never builds — enforce it here so a misbehaving custom
-        # controller fails exactly like it would on the scalar engine.
-        if qp.min() < QP_MIN or qp.max() > QP_MAX:
-            raise EncodingError(f"QP must be in [{QP_MIN}, {QP_MAX}]")
-        complexity = np.array(cx_l)
-        motion = np.array(mo_l)
-        scene = np.array(sc_l, dtype=bool)
+            # Decision.__post_init__ already enforces threads >= 1 and a
+            # positive frequency; QP is only range-checked by EncoderConfig,
+            # which the batch path never builds — enforce it here so a
+            # misbehaving custom controller fails exactly like it would on
+            # the scalar engine.
+            if qp.min() < QP_MIN or qp.max() > QP_MAX:
+                raise EncodingError(f"QP must be in [{QP_MIN}, {QP_MAX}]")
+            complexity = np.array(cx_l)
+            motion = np.array(mo_l)
+            scene = np.array(sc_l, dtype=bool)
 
-        static = self._static
-        video = self._video_static
-        rows = video["rows"]
-        cols = video["cols"]
-        serial_units = video["serial_units"]
-        pixels = video["pixels"]
+        with profiler.phase("evaluate"):
+            static = self._static
+            video = self._video_static
+            rows = video["rows"]
+            cols = video["cols"]
+            serial_units = video["serial_units"]
+            pixels = video["pixels"]
 
-        # -- WPP speedup and thread efficiency (mirrors WppModel.speedup) -------
-        usable = np.minimum(threads, rows)
-        parallel_units = (rows / usable) * cols + 2 * (usable - 1)
-        raw_speedup = serial_units / parallel_units
-        overhead = 1.0 + static["sync_overhead"] * (threads - 1)
-        speedup = np.maximum(1.0, raw_speedup / overhead)
-        speedup = np.where(threads > 1, speedup, 1.0)
-        activity = speedup / threads
+            # -- WPP speedup and thread efficiency (mirrors WppModel.speedup) ---
+            usable = np.minimum(threads, rows)
+            parallel_units = (rows / usable) * cols + 2 * (usable - 1)
+            raw_speedup = serial_units / parallel_units
+            overhead = 1.0 + static["sync_overhead"] * (threads - 1)
+            speedup = np.maximum(1.0, raw_speedup / overhead)
+            speedup = np.where(threads > 1, speedup, 1.0)
+            activity = speedup / threads
 
-        # -- per-server allocation (mirrors MulticoreServer.allocate) -----------
-        counts = self._counts
-        starts = self._starts
-        busy_idx = [i for i, count in enumerate(counts) if count > 0]
-        busy_starts = np.array([starts[i] for i in busy_idx], dtype=np.int64)
-        busy_counts = np.array([counts[i] for i in busy_idx], dtype=np.int64)
-        busy = np.array(busy_idx, dtype=np.int64)
+            # -- per-server allocation (mirrors MulticoreServer.allocate) -------
+            counts = self._counts
+            starts = self._starts
+            busy_idx = [i for i, count in enumerate(counts) if count > 0]
+            busy_starts = np.array([starts[i] for i in busy_idx], dtype=np.int64)
+            busy_counts = np.array([counts[i] for i in busy_idx], dtype=np.int64)
+            busy = np.array(busy_idx, dtype=np.int64)
 
-        total_threads = np.add.reduceat(threads, busy_starts)
-        cores_b = self._srv_cores[busy]
-        hw_b = self._srv_hw[busy]
-        smt_eff_b = self._srv_smt_eff[busy]
+            total_threads = np.add.reduceat(threads, busy_starts)
+            cores_b = self._srv_cores[busy]
+            hw_b = self._srv_hw[busy]
+            smt_eff_b = self._srv_smt_eff[busy]
 
-        shared = np.minimum(total_threads, hw_b) - cores_b
-        capacity = np.where(
-            total_threads <= cores_b,
-            total_threads.astype(float),
-            (cores_b - shared) + 2 * shared * smt_eff_b,
-        )
-        scale_b = np.minimum(1.0, capacity / total_threads)
+            shared = np.minimum(total_threads, hw_b) - cores_b
+            capacity = np.where(
+                total_threads <= cores_b,
+                total_threads.astype(float),
+                (cores_b - shared) + 2 * shared * smt_eff_b,
+            )
+            scale_b = np.minimum(1.0, capacity / total_threads)
 
-        busy_physical = np.minimum(total_threads, cores_b).astype(float)
-        smt_cores = np.maximum(0, np.minimum(total_threads, hw_b) - cores_b).astype(
-            float
-        )
-        single_cores = busy_physical - smt_cores
-        idle_cores = cores_b - busy_physical
+            busy_physical = np.minimum(total_threads, cores_b).astype(float)
+            smt_cores = np.maximum(
+                0, np.minimum(total_threads, hw_b) - cores_b
+            ).astype(float)
+            single_cores = busy_physical - smt_cores
+            idle_cores = cores_b - busy_physical
 
-        scale_rep = np.repeat(scale_b, busy_counts)
-        total_rep = np.repeat(total_threads, busy_counts)
-        single_rep = np.repeat(single_cores, busy_counts)
-        smt_rep = np.repeat(smt_cores, busy_counts)
+            scale_rep = np.repeat(scale_b, busy_counts)
+            total_rep = np.repeat(total_threads, busy_counts)
+            single_rep = np.repeat(single_cores, busy_counts)
+            smt_rep = np.repeat(smt_cores, busy_counts)
 
-        effective_activity = np.minimum(1.0, activity / scale_rep)
-        v_rel, dyn_rel = self._voltage_arrays(freq)
-        leakage = self._leak_s * v_rel
-        per_single = leakage + (self._dyn_s * dyn_rel) * effective_activity
-        per_smt = leakage + (self._dyn_smt2_s * dyn_rel) * effective_activity
+            effective_activity = np.minimum(1.0, activity / scale_rep)
+            v_rel, dyn_rel = self._voltage_arrays(freq)
+            leakage = self._leak_s * v_rel
+            per_single = leakage + (self._dyn_s * dyn_rel) * effective_activity
+            per_smt = leakage + (self._dyn_smt2_s * dyn_rel) * effective_activity
 
-        share = threads / total_rep
-        own_single = share * single_rep
-        own_smt = share * smt_rep
-        session_power = own_single * per_single + own_smt * per_smt
+            share = threads / total_rep
+            own_single = share * single_rep
+            own_smt = share * smt_rep
+            session_power = own_single * per_single + own_smt * per_smt
 
-        # -- transcode math (mirrors HevcDecoder/HevcEncoder) --------------------
-        decode_cycles = (static["decode_base"] * pixels) * (0.7 + 0.3 * complexity)
-        decode_time = decode_cycles / (freq * 1e9)
+            # -- transcode math (mirrors HevcDecoder/HevcEncoder) ---------------
+            decode_cycles = (static["decode_base"] * pixels) * (
+                0.7 + 0.3 * complexity
+            )
+            decode_time = decode_cycles / (freq * 1e9)
 
-        qp_factor = self._comp_tables[self._comp_row_idx, qp - QP_MIN]
-        content_factor = (
-            static["one_minus_complexity_weight"]
-            + static["complexity_weight"] * complexity
-        )
-        motion_factor = 1.0 + static["motion_weight"] * motion
-        intra_factor = np.where(scene, static["intra_cost_factor"], 1.0)
-        encode_cycles = (
-            static["base_cycles_per_pixel"]
-            * pixels
-            * video["effort_factor"]
-            * qp_factor
-            * content_factor
-            * motion_factor
-            * intra_factor
-        )
-        effective = np.maximum(1.0, speedup * scale_rep)
-        encode_time = encode_cycles / (freq * 1e9 * effective)
+            qp_factor = self._comp_tables[self._comp_row_idx, qp - QP_MIN]
+            content_factor = (
+                static["one_minus_complexity_weight"]
+                + static["complexity_weight"] * complexity
+            )
+            motion_factor = 1.0 + static["motion_weight"] * motion
+            intra_factor = np.where(scene, static["intra_cost_factor"], 1.0)
+            encode_cycles = (
+                static["base_cycles_per_pixel"]
+                * pixels
+                * video["effort_factor"]
+                * qp_factor
+                * content_factor
+                * motion_factor
+                * intra_factor
+            )
+            effective = np.maximum(1.0, speedup * scale_rep)
+            encode_time = encode_cycles / (freq * 1e9 * effective)
 
-        psnr = (
-            static["psnr_at_ref_qp"]
-            - static["psnr_slope"] * (qp - static["psnr_ref_qp"])
-            - static["psnr_complexity_penalty"] * (complexity - 1.0)
-            - static["psnr_motion_penalty"] * motion
-            + video["quality_gain_db"]
-        )
-        psnr = np.minimum(
-            np.maximum(psnr, static["psnr_floor"]), static["psnr_ceiling"]
-        )
+            psnr = (
+                static["psnr_at_ref_qp"]
+                - static["psnr_slope"] * (qp - static["psnr_ref_qp"])
+                - static["psnr_complexity_penalty"] * (complexity - 1.0)
+                - static["psnr_motion_penalty"] * motion
+                + video["quality_gain_db"]
+            )
+            psnr = np.minimum(
+                np.maximum(psnr, static["psnr_floor"]), static["psnr_ceiling"]
+            )
 
-        qp_scale = self._rd_tables[self._rd_row_idx, qp - QP_MIN]
-        content_scale = complexity * (0.8 + 0.4 * motion)
-        intra_scale = np.where(scene, static["intra_rate_factor"], 1.0)
-        bpp = (
-            static["bpp_at_ref_qp"]
-            * qp_scale
-            * content_scale
-            * intra_scale
-            * video["compression_gain"]
-        )
-        bits = bpp * pixels
-        bitrate = bits * static["delivery_fps"] / 1e6
+            qp_scale = self._rd_tables[self._rd_row_idx, qp - QP_MIN]
+            content_scale = complexity * (0.8 + 0.4 * motion)
+            intra_scale = np.where(scene, static["intra_rate_factor"], 1.0)
+            bpp = (
+                static["bpp_at_ref_qp"]
+                * qp_scale
+                * content_scale
+                * intra_scale
+                * video["compression_gain"]
+            )
+            bits = bpp * pixels
+            bitrate = bits * static["delivery_fps"] / 1e6
 
-        total_time = decode_time + encode_time
-        fps = 1.0 / total_time
+            total_time = decode_time + encode_time
+            fps = 1.0 / total_time
 
         # -- scatter -------------------------------------------------------------
-        fps_l = fps.tolist()
-        psnr_l = psnr.tolist()
-        bitrate_l = bitrate.tolist()
-        time_l = total_time.tolist()
-        power_l = session_power.tolist()
-        qp_l = qp.tolist()
-        threads_l = threads.tolist()
-        freq_list = freq.tolist()
-        idle_cores_l = idle_cores.tolist()
-        driven_flags = self._driven_flags
-        # Per-lane server power (each session observes its server's total
-        # draw), fed back into the driver's observation windows.
-        power_lane = np.empty(n)
+        with profiler.phase("scatter"):
+            fps_l = fps.tolist()
+            psnr_l = psnr.tolist()
+            bitrate_l = bitrate.tolist()
+            time_l = total_time.tolist()
+            power_l = session_power.tolist()
+            qp_l = qp.tolist()
+            threads_l = threads.tolist()
+            freq_list = freq.tolist()
+            idle_cores_l = idle_cores.tolist()
+            driven_flags = self._driven_flags
+            # Per-lane server power (each session observes its server's total
+            # draw), fed back into the driver's observation windows.
+            power_lane = np.empty(n)
 
-        samples: list[Optional[PowerSample]] = [None] * len(self.orchestrators)
-        make_observation = Observation
-        make_record = FrameRecord
-        for k, server_index in enumerate(busy_idx):
-            start = starts[server_index]
-            end = start + counts[server_index]
-            orch = self.orchestrators[server_index]
-            server_static = self._servers[server_index]
+            samples: list[Optional[PowerSample]] = [None] * len(
+                self.orchestrators
+            )
+            make_observation = Observation
+            make_record = FrameRecord
+            for k, server_index in enumerate(busy_idx):
+                start = starts[server_index]
+                end = start + counts[server_index]
+                orch = self.orchestrators[server_index]
+                server_static = self._servers[server_index]
 
-            # Idle/base power share (mirrors allocate's shared_power).
-            if orch.server.dvfs_policy is DvfsPolicy.CHIP_WIDE:
-                idle_freq = max(freq_list[start:end])
-                cache = server_static.idle_core_power_cache
-                idle_core_power = cache.get(idle_freq)
-                if idle_core_power is None:
-                    idle_core_power = server_static.power_model.idle_core_power(
-                        idle_freq
-                    )
-                    cache[idle_freq] = idle_core_power
-            else:
-                idle_core_power = server_static.idle_core_power_min_w
-            idle_power = idle_cores_l[k] * idle_core_power
-            shared_power = server_static.base_power_w + idle_power
-            busy_power_total = sum(power_l[start:end])
-            total_power = shared_power + busy_power_total
-            power_lane[start:end] = total_power
-
-            for i in range(start, end):
-                lane = lanes[i]
-                fps_i = fps_l[i]
-                psnr_i = psnr_l[i]
-                bitrate_i = bitrate_l[i]
-                # Positional construction, field order of the dataclasses.
-                observation = make_observation(
-                    fps_i, psnr_i, bitrate_i, total_power
-                )
-                record = make_record(
-                    lane.session_id,
-                    lane.step_counter,
-                    lane.video_name,
-                    fidx_l[i],
-                    lane.resolution_class,
-                    qp_l[i],
-                    threads_l[i],
-                    freq_list[i],
-                    fps_i,
-                    psnr_i,
-                    bitrate_i,
-                    time_l[i],
-                    total_power,
-                    lane.target_fps,
-                )
-                lane.step_counter += 1
-                if driven_flags[i]:
-                    lane.session.commit_driven_step(record, observation)
+                # Idle/base power share (mirrors allocate's shared_power).
+                if orch.server.dvfs_policy is DvfsPolicy.CHIP_WIDE:
+                    idle_freq = max(freq_list[start:end])
+                    cache = server_static.idle_core_power_cache
+                    idle_core_power = cache.get(idle_freq)
+                    if idle_core_power is None:
+                        idle_core_power = (
+                            server_static.power_model.idle_core_power(idle_freq)
+                        )
+                        cache[idle_freq] = idle_core_power
                 else:
-                    lane.session.commit_step_result(record, observation)
+                    idle_core_power = server_static.idle_core_power_min_w
+                idle_power = idle_cores_l[k] * idle_core_power
+                shared_power = server_static.base_power_w + idle_power
+                busy_power_total = sum(power_l[start:end])
+                total_power = shared_power + busy_power_total
+                power_lane[start:end] = total_power
 
-            duration = sum(time_l[start:end]) / counts[server_index]
-            sample = PowerSample(
-                step=step,
-                power_w=total_power,
-                duration_s=duration,
-                active_sessions=counts[server_index],
-            )
-            orch.meter.record(sample.power_w, sample.duration_s)
-            samples[server_index] = sample
+                for i in range(start, end):
+                    lane = lanes[i]
+                    fps_i = fps_l[i]
+                    psnr_i = psnr_l[i]
+                    bitrate_i = bitrate_l[i]
+                    # Positional construction, field order of the dataclasses.
+                    observation = make_observation(
+                        fps_i, psnr_i, bitrate_i, total_power
+                    )
+                    record = make_record(
+                        lane.session_id,
+                        lane.step_counter,
+                        lane.video_name,
+                        fidx_l[i],
+                        lane.resolution_class,
+                        qp_l[i],
+                        threads_l[i],
+                        freq_list[i],
+                        fps_i,
+                        psnr_i,
+                        bitrate_i,
+                        time_l[i],
+                        total_power,
+                        lane.target_fps,
+                    )
+                    lane.step_counter += 1
+                    if driven_flags[i]:
+                        lane.session.commit_driven_step(record, observation)
+                    else:
+                        lane.session.commit_step_result(record, observation)
 
-        for server_index in range(len(self.orchestrators)):
-            if samples[server_index] is None:
-                samples[server_index] = self._idle_sample(server_index, step)
+                duration = sum(time_l[start:end]) / counts[server_index]
+                sample = PowerSample(
+                    step=step,
+                    power_w=total_power,
+                    duration_s=duration,
+                    active_sessions=counts[server_index],
+                )
+                orch.meter.record(sample.power_w, sample.duration_s)
+                samples[server_index] = sample
 
-        advanced, finished = self._refresh_video_columns()
-        if self._driver is not None:
-            self._driver.commit_observations(
-                fps, psnr, bitrate, power_lane, advanced, finished
-            )
+            for server_index in range(len(self.orchestrators)):
+                if samples[server_index] is None:
+                    samples[server_index] = self._idle_sample(server_index, step)
+
+            advanced, finished = self._refresh_video_columns()
+            if self._driver is not None:
+                self._driver.commit_observations(
+                    fps, psnr, bitrate, power_lane, advanced, finished
+                )
         return samples  # type: ignore[return-value]

@@ -46,6 +46,7 @@ Everything downstream of the seed is deterministic: the same
 from __future__ import annotations
 
 import dataclasses
+import logging
 from collections import deque
 from typing import Mapping, Optional, Sequence
 
@@ -64,8 +65,12 @@ from repro.manager.session import TranscodingSession
 from repro.metrics.cluster import ClusterSummary, summarize_cluster
 from repro.metrics.records import FleetSample, FrameRecord, PowerSample, ScalingEvent
 from repro.platform.server import MulticoreServer
+from repro.telemetry.config import Telemetry, resolve_telemetry
+from repro.telemetry.metrics import QUEUE_WAIT_EDGES
 
 __all__ = ["ClusterResult", "ClusterOrchestrator"]
+
+_LOG = logging.getLogger("repro.cluster")
 
 # Lifecycle of one server slot.  Slots are append-only: a decommissioned
 # server stops stepping but keeps its records and power trace in the result.
@@ -315,6 +320,11 @@ class ClusterOrchestrator:
         self._brownout_level = 0
         self._brownout_steps = 0
         self._degraded = 0
+        # Telemetry defaults to the shared all-null hub; run(telemetry=...)
+        # rebinds before the first step.  Sessions being traced from dispatch
+        # to their terminal span live in _trace_inflight.
+        self._trace_inflight: list[list] = []
+        self._bind_telemetry(Telemetry.disabled())
 
     @property
     def orchestrators(self) -> list[Orchestrator]:
@@ -325,6 +335,125 @@ class ClusterOrchestrator:
     def num_servers(self) -> int:
         """Servers currently powered on (warming and draining included)."""
         return len(self._live)
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def _bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach a telemetry hub: tracer, instruments and the profiler.
+
+        Everything bound here is observe-only; with the disabled hub every
+        attribute is a shared null object and each hook below degenerates to
+        a no-op method call.
+        """
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer
+        self._profiler = telemetry.profiler
+        self._metrics = telemetry.metrics
+        for slot in self._slots:
+            slot.orchestrator.profiler = telemetry.profiler
+        m = telemetry.metrics
+        self._m_queue = m.gauge(
+            "repro_queue_length", "Admission queue length at end of step"
+        )
+        self._m_live = m.gauge(
+            "repro_live_servers", "Powered-on servers (warming/draining included)"
+        )
+        self._m_dispatchable = m.gauge(
+            "repro_dispatchable_servers", "Servers accepting new sessions"
+        )
+        self._m_warming = m.gauge(
+            "repro_warming_servers", "Commissioned servers still provisioning"
+        )
+        self._m_draining = m.gauge(
+            "repro_draining_servers", "Servers finishing sessions before retire"
+        )
+        self._m_active = m.gauge(
+            "repro_active_sessions", "Running sessions fleet-wide"
+        )
+        self._m_brownout = m.gauge(
+            "repro_brownout_level", "Fleet-wide degradation level (0 = normal)"
+        )
+        self._m_power = m.gauge(
+            "repro_fleet_power_w", "Summed package power of powered-on servers"
+        )
+        self._m_arrivals = m.counter(
+            "repro_arrivals_total", "Requests generated by the workload"
+        )
+        self._m_admitted = m.counter(
+            "repro_admitted_total", "Requests dispatched to a server"
+        )
+        self._m_rejected = m.counter(
+            "repro_rejected_total", "Requests turned away by admission"
+        )
+        self._m_dropped = m.counter(
+            "repro_dropped_total", "Queued requests dropped past patience"
+        )
+        self._m_degraded = m.counter(
+            "repro_degraded_total", "Sessions admitted at degraded quality"
+        )
+        self._m_frames = m.counter(
+            "repro_frames_total", "Frames transcoded fleet-wide"
+        )
+        self._m_violations = m.counter(
+            "repro_qos_violations_total", "Frames below their session FPS target"
+        )
+        self._m_wait = m.histogram(
+            "repro_queue_wait_steps",
+            QUEUE_WAIT_EDGES,
+            "Queue wait of admitted requests, in steps",
+        )
+
+    def _count_verdict(self, verdict: AdmissionVerdict) -> None:
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_admission_verdicts_total",
+                "Admission decisions by policy and verdict",
+                labels={
+                    "policy": self.admission.name,
+                    "verdict": verdict.name.lower(),
+                },
+            ).inc()
+
+    def _count_scaling(self, direction: str) -> None:
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_scaling_events_total",
+                "Fleet resizes by direction and policy",
+                labels={"direction": direction, "policy": self.autoscaler.name},
+            ).inc()
+
+    def _trace_progress(self, step: int) -> None:
+        """Emit video-completion and session-end spans after a step.
+
+        Walks the in-flight sessions in dispatch order — identical on both
+        engines, so scalar and batch runs produce the same span stream.
+        """
+        tracer = self._tracer
+        keep = []
+        for entry in self._trace_inflight:
+            request_id, session, last_video, videos = entry
+            current = session.video_index
+            while last_video < current:
+                last_video += 1
+                tracer.emit(
+                    "video_complete",
+                    step,
+                    request_id,
+                    video=last_video,
+                    videos=videos,
+                )
+            if session.active:
+                entry[2] = last_video
+                keep.append(entry)
+            else:
+                tracer.emit(
+                    "served",
+                    step,
+                    request_id,
+                    frames=len(session.records),
+                    completed=True,
+                )
+        self._trace_inflight = keep
 
     # -- state -------------------------------------------------------------------------
 
@@ -449,6 +578,7 @@ class ClusterOrchestrator:
         duration: int,
         drain: bool = True,
         max_drain_steps: Optional[int] = None,
+        telemetry=None,
     ) -> ClusterResult:
         """Serve ``duration`` steps of arriving traffic.
 
@@ -460,6 +590,14 @@ class ClusterOrchestrator:
         ``abandoned``.  ``max_drain_steps`` bounds the tail for overload
         experiments.  The autoscaler keeps running during the tail but may
         only shrink the fleet (there is nothing left to admit).
+
+        ``telemetry`` accepts a :class:`~repro.telemetry.TelemetryConfig` or
+        a built :class:`~repro.telemetry.Telemetry` hub.  Observation is
+        strictly read-only — no RNG draws, no model inputs — so any
+        combination of tracing, metrics and profiling leaves the seeded
+        results bit-for-bit unchanged (enforced by the telemetry tests).
+        The hub stays accessible as ``self.telemetry`` after the run, with
+        exports flushed.
 
         A cluster orchestrator is single-use: the per-server orchestrators
         keep their sessions, so a second ``run()`` would silently mix the
@@ -479,6 +617,8 @@ class ClusterOrchestrator:
                 "WorkloadGenerator (the same seed reproduces the trace)"
             )
         self._ran = True
+        self._bind_telemetry(resolve_telemetry(telemetry))
+        tracer = self._tracer
 
         queue: deque[WorkloadEvent] = deque()
         arrivals = admitted = rejected = dropped = 0
@@ -498,6 +638,12 @@ class ClusterOrchestrator:
                 snapshot = self.snapshot(step, len(queue))
                 level = self.brownout.observe(snapshot)
                 if level != self._brownout_level:
+                    _LOG.debug(
+                        "step %d: brownout level %d -> %d",
+                        step,
+                        self._brownout_level,
+                        level,
+                    )
                     self._brownout_level = level
                     snapshot = dataclasses.replace(snapshot, brownout_level=level)
                 if level > 0:
@@ -515,37 +661,74 @@ class ClusterOrchestrator:
                 verdict = self._resolve_verdict(
                     self.admission.decide(head, snapshot), snapshot
                 )
+                self._count_verdict(verdict)
                 if verdict is AdmissionVerdict.QUEUE:
                     self._queue_class_counts[head.service_class] += 1
                     break
                 event = queue.popleft()
                 if verdict is AdmissionVerdict.ADMIT:
-                    index = self._dispatch(event, snapshot)
+                    wait = step - event.arrival_step
+                    index = self._dispatch(event, snapshot, wait_steps=wait)
                     snapshot = self._bump_server(snapshot, index)
                     admitted += 1
-                    queue_waits.append(step - event.arrival_step)
+                    queue_waits.append(wait)
+                    self._m_admitted.inc()
+                    self._m_wait.observe(wait)
                 else:
                     rejected += 1
+                    self._m_rejected.inc()
+                    tracer.emit(
+                        "rejected",
+                        step,
+                        event.request.user_id,
+                        policy=self.admission.name,
+                        waited=step - event.arrival_step,
+                    )
 
             for event in self.workload.arrivals(step):
                 arrivals += 1
                 step_arrivals += 1
+                tracer.emit(
+                    "arrival",
+                    step,
+                    event.request.user_id,
+                    service_class=event.service_class,
+                    frames=event.total_frames,
+                    patience=event.patience_steps,
+                )
                 snapshot = self._derive_snapshot(step, len(queue), snapshot)
                 verdict = self._resolve_verdict(
                     self.admission.decide(event, snapshot), snapshot
                 )
+                self._count_verdict(verdict)
                 if verdict is AdmissionVerdict.ADMIT:
-                    index = self._dispatch(event, snapshot)
+                    index = self._dispatch(event, snapshot, wait_steps=0)
                     snapshot = self._bump_server(snapshot, index)
                     admitted += 1
                     queue_waits.append(0)
+                    self._m_admitted.inc()
+                    self._m_wait.observe(0)
                 elif verdict is AdmissionVerdict.QUEUE:
                     queue.append(event)
                     self._queue_class_counts[event.service_class] = (
                         self._queue_class_counts.get(event.service_class, 0) + 1
                     )
+                    tracer.emit(
+                        "queued",
+                        step,
+                        event.request.user_id,
+                        queue_length=len(queue),
+                    )
                 else:
                     rejected += 1
+                    self._m_rejected.inc()
+                    tracer.emit(
+                        "rejected",
+                        step,
+                        event.request.user_id,
+                        policy=self.admission.name,
+                        waited=0,
+                    )
 
             if self.autoscaler is not None:
                 self._autoscale(step, step_arrivals, len(queue), allow_grow=True)
@@ -553,6 +736,8 @@ class ClusterOrchestrator:
             self._record_fleet_sample(
                 step, step_arrivals, len(queue), frames, violations, step_dropped
             )
+            if tracer.enabled:
+                self._trace_progress(step)
 
         steps = duration
         # Admission closes with the arrival window, so brownout — which
@@ -576,7 +761,32 @@ class ClusterOrchestrator:
                     )
                 frames, violations = self._advance(steps)
                 self._record_fleet_sample(steps, 0, len(queue), frames, violations, 0)
+                if tracer.enabled:
+                    self._trace_progress(steps)
                 steps += 1
+
+        if tracer.enabled:
+            # Close every open lifecycle: sessions cut off by the end of the
+            # run (drain disabled or bounded) end in a ``served`` span with
+            # ``completed: false``; requests still queued end ``abandoned``.
+            # Exactly one terminal span per arrival either way.
+            for request_id, session, _, _ in self._trace_inflight:
+                tracer.emit(
+                    "served",
+                    steps,
+                    request_id,
+                    frames=len(session.records),
+                    completed=False,
+                )
+            self._trace_inflight = []
+            for event in queue:
+                tracer.emit(
+                    "abandoned",
+                    steps,
+                    event.request.user_id,
+                    waited=steps - event.arrival_step,
+                )
+        self.telemetry.finalize()
 
         return ClusterResult(
             records_by_server=tuple(
@@ -628,6 +838,12 @@ class ClusterOrchestrator:
             if event.expired(step):
                 expired += 1
                 self._queue_class_counts[event.service_class] -= 1
+                self._tracer.emit(
+                    "dropped",
+                    step,
+                    event.request.user_id,
+                    waited=step - event.arrival_step,
+                )
             else:
                 kept.append(event)
         if expired:
@@ -635,7 +851,12 @@ class ClusterOrchestrator:
             queue.extend(kept)
         return expired
 
-    def _dispatch(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
+    def _dispatch(
+        self,
+        event: WorkloadEvent,
+        snapshot: ClusterSnapshot,
+        wait_steps: int = 0,
+    ) -> int:
         """Route an admitted event using the snapshot its admission saw
         (cluster state cannot change between the two decisions); returns the
         chosen snapshot index."""
@@ -647,6 +868,7 @@ class ClusterOrchestrator:
             )
         request = event.request
         factory = self.controller_factory
+        degraded = False
         if self._brownout_level > 0 and self.brownout is not None:
             # The brownout bargain: served, but degraded.  The relaxed
             # request is used for the session too, so QoS accounting holds
@@ -655,6 +877,8 @@ class ClusterOrchestrator:
             if self.brownout.degraded_factory is not None:
                 factory = self.brownout.degraded_factory
             self._degraded += 1
+            self._m_degraded.inc()
+            degraded = True
         controller = factory(request, self.seed + self._admitted)
         self._admitted += 1
         session = TranscodingSession(
@@ -666,6 +890,20 @@ class ClusterOrchestrator:
         slot.orchestrator.add_session(session)
         slot.dispatched += 1
         slot.active_count += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                "dispatched",
+                snapshot.step,
+                event.request.user_id,
+                server=slot.index,
+                wait_steps=wait_steps,
+                degraded=degraded,
+                brownout_level=self._brownout_level,
+            )
+            self._trace_inflight.append(
+                [event.request.user_id, session, 0, len(session.playlist)]
+            )
         return index
 
     def _update_fleet(self, step: int) -> None:
@@ -742,11 +980,21 @@ class ClusterOrchestrator:
             slot = _ServerSlot(
                 len(self._slots), Orchestrator(server=self.server_factory()), step
             )
+            slot.orchestrator.profiler = self._profiler
             slot.ready_step = step + self.provision_warmup_steps
             if self.provision_warmup_steps > 0:
                 slot.state = _WARMING
             self._slots.append(slot)
         self._refresh_fleet_views()
+        _LOG.debug(
+            "step %d: scale up +%d (%d -> %d): %s",
+            step,
+            count,
+            provisioned,
+            provisioned + count,
+            reason,
+        )
+        self._count_scaling("up")
         self._scaling_events.append(
             ScalingEvent(
                 step=step,
@@ -788,6 +1036,15 @@ class ClusterOrchestrator:
                 else:
                     slot.state = _DRAINING
         self._refresh_fleet_views()
+        _LOG.debug(
+            "step %d: scale down -%d (%d -> %d): %s",
+            step,
+            count,
+            provisioned,
+            provisioned - count,
+            reason,
+        )
+        self._count_scaling("down")
         self._scaling_events.append(
             ScalingEvent(
                 step=step,
@@ -812,7 +1069,8 @@ class ClusterOrchestrator:
         if self.engine == "batch":
             if self._stepper is None:
                 self._stepper = BatchStepper(
-                    [slot.orchestrator for slot in live]
+                    [slot.orchestrator for slot in live],
+                    profiler=self._profiler,
                 )
             step_samples = self._stepper.step(step)
         else:
@@ -847,23 +1105,37 @@ class ClusterOrchestrator:
         violations: int,
         dropped: int,
     ) -> None:
-        self._fleet_trace.append(
-            FleetSample(
-                step=step,
-                live_servers=len(self._live),
-                dispatchable_servers=len(self._dispatchable),
-                warming_servers=sum(
-                    1 for s in self._live if s.state == _WARMING
-                ),
-                draining_servers=sum(
-                    1 for s in self._live if s.state == _DRAINING
-                ),
-                queue_length=queue_length,
-                arrivals=arrivals,
-                active_sessions=sum(slot.active_count for slot in self._live),
-                frames=frames,
-                qos_violations=violations,
-                dropped=dropped,
-                brownout_level=self._brownout_level,
-            )
+        sample = FleetSample(
+            step=step,
+            live_servers=len(self._live),
+            dispatchable_servers=len(self._dispatchable),
+            warming_servers=sum(
+                1 for s in self._live if s.state == _WARMING
+            ),
+            draining_servers=sum(
+                1 for s in self._live if s.state == _DRAINING
+            ),
+            queue_length=queue_length,
+            arrivals=arrivals,
+            active_sessions=sum(slot.active_count for slot in self._live),
+            frames=frames,
+            qos_violations=violations,
+            dropped=dropped,
+            brownout_level=self._brownout_level,
         )
+        self._fleet_trace.append(sample)
+        self._profiler.count_step()
+        if self._metrics.enabled:
+            self._m_queue.set(sample.queue_length)
+            self._m_live.set(sample.live_servers)
+            self._m_dispatchable.set(sample.dispatchable_servers)
+            self._m_warming.set(sample.warming_servers)
+            self._m_draining.set(sample.draining_servers)
+            self._m_active.set(sample.active_sessions)
+            self._m_brownout.set(sample.brownout_level)
+            self._m_power.set(sum(slot.last_power_w for slot in self._live))
+            self._m_arrivals.inc(arrivals)
+            self._m_dropped.inc(dropped)
+            self._m_frames.inc(frames)
+            self._m_violations.inc(violations)
+        self.telemetry.record_step(step)

@@ -30,6 +30,7 @@ from repro.manager.session import TranscodingSession
 from repro.platform.dvfs import DvfsPolicy
 from repro.platform.meter import PowerMeter
 from repro.platform.server import MulticoreServer
+from repro.telemetry.profiler import NULL_PROFILER
 
 __all__ = ["OrchestratorResult", "Orchestrator"]
 
@@ -101,6 +102,10 @@ class Orchestrator:
         self._session_ids = set(ids)
         self.server = server if server is not None else MulticoreServer()
         self.meter = PowerMeter()
+        # Observe-only phase profiler; the cluster layer (or run(telemetry=))
+        # swaps in a live one.  The null default costs one no-op context
+        # manager per phase.
+        self.profiler = NULL_PROFILER
 
         if any(
             session.controller.dvfs_policy is DvfsPolicy.CHIP_WIDE
@@ -143,16 +148,20 @@ class Orchestrator:
         if not active:
             return None
 
-        demands = [session.prepare() for session in active]
-        allocation = self.server.allocate(demands)
+        profiler = self.profiler
+        with profiler.phase("decide"):
+            demands = [session.prepare() for session in active]
+        with profiler.phase("allocate"):
+            allocation = self.server.allocate(demands)
 
-        records = [
-            session.execute(
-                allocation.contention_scale(session.session_id),
-                allocation.total_power_w,
-            )
-            for session in active
-        ]
+        with profiler.phase("execute"):
+            records = [
+                session.execute(
+                    allocation.contention_scale(session.session_id),
+                    allocation.total_power_w,
+                )
+                for session in active
+            ]
 
         duration = sum(record.encode_time_s for record in records) / len(records)
         sample = PowerSample(
@@ -183,7 +192,10 @@ class Orchestrator:
         return sample
 
     def run(
-        self, max_steps: Optional[int] = None, engine: str = "scalar"
+        self,
+        max_steps: Optional[int] = None,
+        engine: str = "scalar",
+        telemetry=None,
     ) -> OrchestratorResult:
         """Run until every playlist finishes (or ``max_steps`` is reached).
 
@@ -191,17 +203,30 @@ class Orchestrator:
         vectorized :class:`~repro.cluster.batch.BatchStepper` (seed-for-seed
         identical results; worthwhile for many-session experiments), while
         the default ``"scalar"`` engine steps session by session.
+
+        ``telemetry`` accepts a :class:`~repro.telemetry.TelemetryConfig`
+        or a built :class:`~repro.telemetry.Telemetry` hub; the profiler
+        component (if enabled) attributes per-phase wall time for whichever
+        engine runs.  The hub is exposed as ``self.telemetry`` afterwards.
         """
         if engine not in ("batch", "scalar"):
             raise ScenarioError(
                 f"engine must be 'batch' or 'scalar', got {engine!r}"
             )
+        # Deferred import: repro.telemetry.config is dependency-free but the
+        # hub types live one package over; keep the manager layer importable
+        # without telemetry resolved at module load.
+        from repro.telemetry.config import resolve_telemetry
+
+        tel = resolve_telemetry(telemetry)
+        self.telemetry = tel
+        self.profiler = tel.profiler
         stepper = None
         if engine == "batch":
             # Deferred import: repro.cluster.batch imports this module.
             from repro.cluster.batch import BatchStepper
 
-            stepper = BatchStepper([self])
+            stepper = BatchStepper([self], profiler=tel.profiler)
 
         power_samples: list[PowerSample] = []
         step = 0
@@ -214,6 +239,7 @@ class Orchestrator:
                 sample = self.run_step(step)
                 if sample is None:
                     break
+            tel.profiler.count_step()
             power_samples.append(sample)
             step += 1
 
@@ -222,6 +248,7 @@ class Orchestrator:
             # so a follow-up run (either engine) resumes from identical
             # state when max_steps stopped the run mid-playlist.
             stepper.flush_window_state()
+        tel.finalize()
 
         records_by_session = {
             session.session_id: list(session.records) for session in self.sessions

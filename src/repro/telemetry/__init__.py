@@ -1,0 +1,62 @@
+"""Zero-overhead-when-disabled observability for the simulation stack.
+
+Four concerns, one hub:
+
+* :mod:`repro.telemetry.trace` — request-lifecycle spans (arrival →
+  admission → queue → dispatch → progress → terminal outcome) as JSONL.
+* :mod:`repro.telemetry.metrics` — live counters/gauges/histograms with a
+  Prometheus text exporter and per-step time-series recorder.
+* :mod:`repro.telemetry.profiler` — per-phase wall-time for the stepping
+  engines (gather / evaluate / MAMUT activation / scatter, and the scalar
+  decide / allocate / execute loop).
+* :mod:`repro.telemetry.logsetup` — the ``repro`` logger hierarchy behind
+  the ``--log-level`` flag.
+
+Entry points: build a :class:`TelemetryConfig`, pass it to
+``ClusterOrchestrator.run(telemetry=...)`` or ``Orchestrator.run(...)``,
+and read the hub back from ``cluster.telemetry``.  Everything is
+observe-only and seed-neutral: enabling any combination of concerns must
+not change a seeded run's results (pinned by ``tests/test_telemetry.py``).
+"""
+
+from repro.telemetry.config import Telemetry, TelemetryConfig, resolve_telemetry
+from repro.telemetry.logsetup import LOG_LEVELS, configure_logging
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeriesRecorder,
+)
+from repro.telemetry.profiler import NULL_PROFILER, StepProfiler
+from repro.telemetry.trace import (
+    NULL_TRACER,
+    TERMINAL_KINDS,
+    JsonlTraceSink,
+    ListTraceSink,
+    RequestTracer,
+    TraceSink,
+)
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "resolve_telemetry",
+    "configure_logging",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "TimeSeriesRecorder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "StepProfiler",
+    "NULL_PROFILER",
+    "RequestTracer",
+    "TraceSink",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "NULL_TRACER",
+    "TERMINAL_KINDS",
+]

@@ -1,0 +1,151 @@
+"""Request-lifecycle tracing: one span stream per cluster run.
+
+Every :class:`~repro.cluster.workload.WorkloadEvent` is followed from
+arrival to its terminal outcome; the tracer emits one flat JSON object per
+span through a pluggable sink.  Span kinds and their extra fields:
+
+``arrival``
+    ``service_class``, ``frames`` (total playlist frames), ``patience``.
+``queued``
+    The admission policy parked the request (``queue_length`` after).
+``rejected`` *(terminal)*
+    Turned away at arrival (``policy`` label).
+``dispatched``
+    Sent to a server: ``server`` (global slot index), ``wait_steps``
+    (queue steps; 0 = admitted on arrival), ``degraded`` (brownout),
+    ``brownout_level``.
+``video_complete``
+    Per-video transcode progress of a running session: ``video`` (playlist
+    position just finished), ``videos`` (playlist length).
+``served`` *(terminal)*
+    Session finished or run ended: ``frames`` actually transcoded,
+    ``completed`` (False when the run ended mid-session).
+``dropped`` *(terminal)*
+    Aged out of the queue past its patience deadline (``waited`` steps).
+``abandoned`` *(terminal)*
+    Still queued when the run ended (``waited`` steps).
+
+Every span carries ``kind``, ``step`` (cluster step; observed simulation
+time, never wall clock — determinism) and ``request`` (the request's
+user id).  The lifecycle invariant — every arrival ends in exactly one
+terminal span, and terminal counts reconcile with the
+:class:`~repro.metrics.cluster.ClusterSummary` ledger — is pinned by
+``tests/test_telemetry.py``.
+
+Tracing is observe-only: it draws no randomness and mutates no simulation
+state, so an enabled trace cannot change the run it describes.  When
+disabled, :data:`NULL_TRACER` makes ``emit`` a no-op and exposes
+``enabled = False`` so per-step progress bookkeeping can be skipped
+entirely.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = [
+    "TraceSink",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "RequestTracer",
+    "NULL_TRACER",
+]
+
+#: Span kinds that end a request's lifecycle (exactly one per arrival).
+TERMINAL_KINDS = frozenset({"served", "rejected", "dropped", "abandoned"})
+
+
+class TraceSink:
+    """Receives span dicts; subclasses decide where they go."""
+
+    def write(self, span: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one compact JSON object per line to a file.
+
+    The file is opened lazily on the first span so a run that emits nothing
+    leaves nothing behind, and key order is preserved as emitted (``kind``,
+    ``step``, ``request`` first) so the JSONL diffs cleanly between seeded
+    runs.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.count = 0
+        self._handle = None
+
+    def write(self, span: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(span, separators=(",", ":")) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class ListTraceSink(TraceSink):
+    """Collects spans in memory — the test and analysis sink."""
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+
+    def write(self, span: dict) -> None:
+        self.spans.append(span)
+
+    @property
+    def count(self) -> int:
+        return len(self.spans)
+
+    def by_kind(self, kind: str) -> list[dict]:
+        return [span for span in self.spans if span["kind"] == kind]
+
+    def for_request(self, request_id: str) -> list[dict]:
+        return [span for span in self.spans if span["request"] == request_id]
+
+    def terminal_spans(self) -> list[dict]:
+        return [span for span in self.spans if span["kind"] in TERMINAL_KINDS]
+
+
+class RequestTracer:
+    """Emits lifecycle spans for every workload request through a sink."""
+
+    enabled = True
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self.emitted = 0
+
+    def emit(self, kind: str, step: int, request_id: str, **fields) -> None:
+        span = {"kind": kind, "step": step, "request": request_id}
+        span.update(fields)
+        self.sink.write(span)
+        self.emitted += 1
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class _NullTracer:
+    """Disabled tracer: emits nothing, signals callers to skip bookkeeping."""
+
+    enabled = False
+    emitted = 0
+    sink = None
+
+    def emit(self, kind: str, step: int, request_id: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()

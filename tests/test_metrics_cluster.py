@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.metrics.cluster import summarize_cluster
+from repro.metrics.cluster import ClusterSummary, summarize_cluster
 from repro.metrics.records import FleetSample, FrameRecord, PowerSample, ScalingEvent
 from repro.video.sequence import ResolutionClass
 
@@ -202,3 +202,43 @@ class TestElasticityMetrics:
         assert summary.transient_mean_queue_length == pytest.approx(2.0)
         # 3 violations over 10 frames during the two transient steps.
         assert summary.transient_qos_violation_pct == pytest.approx(30.0)
+
+
+class TestSummarySerialization:
+    def summarize(self):
+        return summarize_cluster(
+            [{"u0": [record("u0", s, 25.0) for s in range(4)]}, {}],
+            [[sample(s, 80.0, 1) for s in range(4)], [sample(s, 20.0, 0) for s in range(4)]],
+            arrivals=5,
+            admitted=1,
+            rejected=2,
+            abandoned=1,
+            dropped=1,
+            queue_waits=[0, 3],
+            steps=4,
+            scaling_events=[ScalingEvent(2, "up", 1, 1, 2, "ReactiveThreshold", "queue")],
+            fleet_trace=[fleet_sample(s, 2, queue=s % 2, frames=1) for s in range(4)],
+            degraded_sessions=1,
+            brownout_steps=2,
+        )
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        data = self.summarize().to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert isinstance(data["servers"], list)
+        assert data["servers"][0]["server_index"] == 0
+        assert data["arrivals"] == 5
+
+    def test_round_trip(self):
+        summary = self.summarize()
+        assert ClusterSummary.from_dict(summary.to_dict()) == summary
+
+    def test_from_dict_ignores_unknown_keys(self):
+        """Benchmark payloads carry derived extras next to the summary fields."""
+        data = self.summarize().to_dict()
+        data["mean_psnr_db"] = 36.2
+        data["servers"][0]["favourite_colour"] = "green"
+        summary = ClusterSummary.from_dict(data)
+        assert summary == self.summarize()
