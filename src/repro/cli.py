@@ -12,6 +12,7 @@ Provides quick access to the main experiments without writing Python::
     repro-mamut cluster --traffic flash --autoscale reactive --max-servers 12
     repro-mamut cluster --traffic flash --patience 12 --brownout
     repro-mamut cluster --admission class-aware --hr-max-queue 32 --lr-max-queue 4
+    repro-mamut cluster --fault-mtbf 60 --fault-seed 7 --autoscale reactive
 
 (Equivalently: ``python -m repro.cli <command> ...``.)
 """
@@ -30,6 +31,7 @@ from repro.cluster import (
     ClassAwareAdmission,
     ClusterOrchestrator,
     DiurnalTraffic,
+    FaultConfig,
     FlashCrowdTraffic,
     LeastLoaded,
     PoissonTraffic,
@@ -231,6 +233,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-drain",
         action="store_true",
         help="stop at the end of the arrival window instead of finishing sessions",
+    )
+    cluster.add_argument(
+        "--fault-mtbf",
+        type=float,
+        default=None,
+        metavar="STEPS",
+        help="inject server crashes: per-server mean time between failures",
+    )
+    cluster.add_argument(
+        "--fault-mttr",
+        type=float,
+        default=10.0,
+        metavar="STEPS",
+        help="mean downtime of a crashed server before it reboots",
+    )
+    cluster.add_argument(
+        "--fault-straggler-mtbf",
+        type=float,
+        default=None,
+        metavar="STEPS",
+        help="inject transient throttles: per-server mean time between stragglers",
+    )
+    cluster.add_argument(
+        "--fault-straggler-duration",
+        type=float,
+        default=5.0,
+        metavar="STEPS",
+        help="mean length of a straggler throttle episode",
+    )
+    cluster.add_argument(
+        "--fault-warmup-failure",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a freshly commissioned server never comes ready",
+    )
+    cluster.add_argument(
+        "--fault-retries",
+        type=int,
+        default=3,
+        help="crash-retry budget per request (0 = naive load shedding)",
+    )
+    cluster.add_argument(
+        "--fault-backoff",
+        type=int,
+        default=2,
+        metavar="STEPS",
+        help="exponential retry backoff base after a crash",
+    )
+    cluster.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault injector's private random stream",
     )
     # Accepted after the subcommand as well (SUPPRESS keeps the pre-command
     # values when the trailing flags are absent).
@@ -467,6 +523,22 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
                 service_steps=service_steps,
             ),
         }[args.autoscale]()
+    faults = None
+    if (
+        args.fault_mtbf is not None
+        or args.fault_straggler_mtbf is not None
+        or args.fault_warmup_failure > 0
+    ):
+        faults = FaultConfig(
+            crash_mtbf_steps=args.fault_mtbf,
+            crash_mttr_steps=args.fault_mttr,
+            straggler_mtbf_steps=args.fault_straggler_mtbf,
+            straggler_duration_steps=args.fault_straggler_duration,
+            warmup_failure_rate=args.fault_warmup_failure,
+            max_retries=args.fault_retries,
+            retry_backoff_steps=args.fault_backoff,
+            seed=args.fault_seed,
+        )
     cluster = ClusterOrchestrator(
         args.servers,
         workload,
@@ -480,6 +552,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         max_servers=args.max_servers,
         provision_warmup_steps=args.warmup_steps,
         brownout=brownout,
+        faults=faults,
     )
     telemetry = None
     if args.trace_out or args.metrics_out or args.profile:
@@ -523,6 +596,15 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         rows += [
             ["brownout steps", summary.brownout_steps],
             ["degraded sessions", summary.degraded_sessions],
+        ]
+    if faults is not None:
+        rows += [
+            ["server crashes", summary.server_crashes],
+            ["stragglers", summary.stragglers],
+            ["warm-up failures", summary.warmup_failures],
+            ["sessions retried", summary.retried],
+            ["requests failed", summary.failed],
+            ["mean healthy servers", summary.mean_healthy_servers],
         ]
     if autoscaler is not None:
         rows += [

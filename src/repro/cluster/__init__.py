@@ -21,6 +21,11 @@ each resolution class its own SLA,
 that is about to exist, and the
 :class:`~repro.cluster.brownout.BrownoutController` degrades quality
 fleet-wide under sustained pressure instead of turning users away.
+Robustness is exercised by the seeded
+:class:`~repro.cluster.faults.FaultInjector`: server crashes with session
+salvage and Q-table migration, transient stragglers, warm-up failures,
+bounded retries with exponential backoff — identical fault schedules and
+identical results on both stepping engines.
 """
 
 from repro.cluster.admission import (
@@ -45,6 +50,7 @@ from repro.cluster.autoscale import (
 from repro.cluster.batch import BatchStepper
 from repro.cluster.cluster import ClusterOrchestrator, ClusterResult
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded, PowerAware, RoundRobin
+from repro.cluster.faults import FaultConfig, FaultInjector
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import (
     CompositeTraffic,
@@ -88,6 +94,9 @@ __all__ = [
     "RoundRobin",
     "LeastLoaded",
     "PowerAware",
+    # faults
+    "FaultConfig",
+    "FaultInjector",
     # state
     "ClusterSnapshot",
     "ServerSnapshot",

@@ -10,7 +10,12 @@ The policy answers one of three verdicts:
 
 Queued requests are re-evaluated ahead of new arrivals each step, so a
 policy only needs to express its instantaneous condition — the retry loop
-lives in the :class:`~repro.cluster.cluster.ClusterOrchestrator`.
+lives in the :class:`~repro.cluster.cluster.ClusterOrchestrator`.  The
+snapshot's ``servers`` tuple covers only *healthy, dispatchable* capacity
+(crashed and straggler-throttled servers are excluded, their counts
+published as ``failed_servers``/``degraded_servers``), and crash-recovery
+re-dispatches flow through the same ``decide`` call as fresh arrivals —
+policies stay oblivious to the fault machinery.
 """
 
 from __future__ import annotations

@@ -90,6 +90,12 @@ class AutoscaleSignals:
         backlog nobody will admit must not block "scale down only when the
         queue is empty" rules and keep idle servers powered); the flag lets
         policies distinguish the tail explicitly.
+    brownout_level:
+        The brownout controller's fleet-wide degradation level this step
+        (0 = normal).  A sustained level means the fleet is serving users
+        degraded quality for lack of capacity — scale-up pressure that the
+        queue and utilization signals understate, because brownout exists
+        precisely to keep the queue from building.
     """
 
     step: int
@@ -101,6 +107,7 @@ class AutoscaleSignals:
     min_servers: int = 1
     max_servers: int | None = None
     draining_tail: bool = False
+    brownout_level: int = 0
 
     def clamp(self, target_servers: int) -> int:
         """``target_servers`` after the orchestrator's band is applied."""
@@ -172,6 +179,17 @@ class ReactiveThreshold(AutoscalePolicy):
     hysteresis band: a trace oscillating inside the band leaves the fleet
     untouched.
 
+    The policy is additionally **brownout-aware**: a brownout level above 0
+    means users are already being served degraded quality for lack of
+    capacity — pressure the queue and utilization signals understate,
+    because brownout exists precisely to keep the queue from building.  At
+    brownout onset the policy remembers the provisioned fleet size and
+    targets ``base + brownout_servers_per_level * level`` — one
+    appropriately-sized ramp per level, not a new server every browned-out
+    step — and refuses to scale down while the level is above 0.  The
+    remembered base resets when the brownout clears, so the next episode is
+    judged from its own starting fleet (no flapping between episodes).
+
     Parameters
     ----------
     scale_up_queue:
@@ -187,6 +205,10 @@ class ReactiveThreshold(AutoscalePolicy):
         Minimum steps between the last resize and a scale-down.
     max_step_up:
         Optional bound on how many servers one scale-up may add.
+    brownout_servers_per_level:
+        Servers added per brownout level above the fleet size at brownout
+        onset (0 disables brownout awareness except for the scale-down
+        freeze).
     """
 
     def __init__(
@@ -197,6 +219,7 @@ class ReactiveThreshold(AutoscalePolicy):
         sessions_per_server: int = 4,
         scale_down_cooldown_steps: int = 15,
         max_step_up: int | None = None,
+        brownout_servers_per_level: int = 1,
     ) -> None:
         if scale_up_queue < 1:
             raise ClusterError(f"scale_up_queue must be >= 1, got {scale_up_queue}")
@@ -219,13 +242,20 @@ class ReactiveThreshold(AutoscalePolicy):
             )
         if max_step_up is not None and max_step_up < 1:
             raise ClusterError(f"max_step_up must be >= 1, got {max_step_up}")
+        if brownout_servers_per_level < 0:
+            raise ClusterError(
+                "brownout_servers_per_level must be >= 0, "
+                f"got {brownout_servers_per_level}"
+            )
         self.scale_up_queue = int(scale_up_queue)
         self.scale_up_utilization = float(scale_up_utilization)
         self.scale_down_utilization = float(scale_down_utilization)
         self.sessions_per_server = int(sessions_per_server)
         self.scale_down_cooldown_steps = int(scale_down_cooldown_steps)
         self.max_step_up = max_step_up
+        self.brownout_servers_per_level = int(brownout_servers_per_level)
         self._last_resize_step = 0
+        self._brownout_base: int | None = None
 
     def _utilization(self, signals: AutoscaleSignals) -> float:
         slots = signals.dispatchable_servers * self.sessions_per_server
@@ -237,6 +267,15 @@ class ReactiveThreshold(AutoscalePolicy):
         provisioned = signals.provisioned_servers
         queue = signals.queue_length
         utilization = self._utilization(signals)
+
+        # Pin the brownout baseline at episode onset; forget it on recovery
+        # so the next episode is judged from its own starting fleet.
+        level = signals.brownout_level
+        if level > 0:
+            if self._brownout_base is None:
+                self._brownout_base = provisioned
+        else:
+            self._brownout_base = None
 
         if queue >= self.scale_up_queue or utilization >= self.scale_up_utilization:
             needed = max(1, math.ceil(queue / self.sessions_per_server))
@@ -255,6 +294,27 @@ class ReactiveThreshold(AutoscalePolicy):
                 provisioned,
                 "pressure already covered by warming servers or the fleet "
                 "ceiling",
+            )
+
+        if level > 0:
+            boosted = signals.clamp(
+                max(
+                    provisioned,
+                    self._brownout_base
+                    + self.brownout_servers_per_level * level,
+                )
+            )
+            if boosted > provisioned:
+                self._last_resize_step = signals.step
+                return AutoscaleDecision(
+                    boosted,
+                    f"brownout level {level}: provisioning to restore full "
+                    f"quality",
+                )
+            # Shedding capacity while users are served degraded would only
+            # deepen the brownout: freeze scale-downs until it clears.
+            return AutoscaleDecision(
+                provisioned, f"holding fleet at brownout level {level}"
             )
 
         if (

@@ -39,8 +39,13 @@ engine — same frame records, same power samples, same admission ledger, same
 IEEE-754 operations in the same order (transcendental factors go through
 per-QP lookup tables shared between the scalar and batch paths), and float
 reductions (per-server power and duration sums) are applied in the scalar
-engine's accumulation order.  The equivalence is enforced by
-``tests/test_cluster_batch.py``.
+engine's accumulation order.  Fault injection preserves the guarantee:
+fault draws, session salvage and retries all happen in orchestrator code
+outside the stepper, and a crash or recovery changes the live roster
+exactly like an autoscaling resize — the stepper is flushed
+(``flush_window_state``) and rebuilt over the surviving fleet.  The
+equivalence is enforced by ``tests/test_cluster_batch.py`` and
+``tests/test_cluster_faults.py``.
 
 Two deliberate deviations from the scalar path, neither observable in the
 results: the in-memory DVFS driver mirror (``MulticoreServer``'s

@@ -38,9 +38,19 @@ on every dispatch) instead of walking each orchestrator's session list per
 arrival, and consecutive decisions within a step derive their snapshot from
 the previous one instead of rebuilding it.
 
+An optional seeded fault injector (:mod:`repro.cluster.faults`) exercises
+the recovery paths: abrupt server crashes (in-flight sessions salvaged —
+Q-tables snapshotted, the remaining playlist re-dispatched with bounded
+retries and exponential backoff, learning restored on the replacement
+server), transient stragglers (throttled servers leave the dispatchable
+roster but keep serving what they have), and warm-up failures (a
+commissioned server that never comes ready).  Fault-driven membership
+changes ride the same roster-refresh path as autoscaling resizes, so both
+engines stay seed-for-seed identical under any fault schedule.
+
 Everything downstream of the seed is deterministic: the same
-``(workload seed, policies, cluster seed)`` tuple reproduces the identical
-:class:`ClusterResult` on either engine.
+``(workload seed, policies, cluster seed, fault seed)`` tuple reproduces
+the identical :class:`ClusterResult` on either engine.
 """
 
 from __future__ import annotations
@@ -57,13 +67,21 @@ from repro.cluster.autoscale import AutoscalePolicy, AutoscaleSignals
 from repro.cluster.batch import BatchStepper
 from repro.cluster.brownout import BrownoutController
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded
+from repro.cluster.faults import FaultConfig, FaultInjector
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import WorkloadEvent, WorkloadGenerator
+from repro.core.persistence import restore_controller, snapshot_controller
 from repro.manager.factories import ControllerFactory, mamut_factory
 from repro.manager.orchestrator import Orchestrator
 from repro.manager.session import TranscodingSession
 from repro.metrics.cluster import ClusterSummary, summarize_cluster
-from repro.metrics.records import FleetSample, FrameRecord, PowerSample, ScalingEvent
+from repro.metrics.records import (
+    FaultEvent,
+    FleetSample,
+    FrameRecord,
+    PowerSample,
+    ScalingEvent,
+)
 from repro.platform.server import MulticoreServer
 from repro.telemetry.config import Telemetry, resolve_telemetry
 from repro.telemetry.metrics import QUEUE_WAIT_EDGES
@@ -79,6 +97,14 @@ _ACTIVE = "active"        # dispatchable
 _DRAINING = "draining"    # no new sessions; finishing the ones it has
 _RETIRED = "retired"      # decommissioned; no longer stepping
 
+# Health of one server slot, orthogonal to the lifecycle above.  Only an
+# ACTIVE *and* HEALTHY slot is dispatchable; a FAILED slot is off power
+# entirely (not live) until its seeded recovery.
+_HEALTHY = "healthy"        # full service
+_DEGRADED = "degraded"      # straggler throttle: keeps sessions, takes none
+_FAILED = "failed"          # crashed; down until the seeded recovery step
+_RECOVERING = "recovering"  # back on power, rebooting through the warm-up
+
 
 class _ServerSlot:
     """One server's live bookkeeping inside the cluster."""
@@ -87,6 +113,7 @@ class _ServerSlot:
         "index",
         "orchestrator",
         "state",
+        "health",
         "idle_power_w",
         "last_power_w",
         "last_active",
@@ -96,6 +123,10 @@ class _ServerSlot:
         "commissioned_step",
         "ready_step",
         "decommissioned_step",
+        "throttle_until",
+        "recover_step",
+        "recovery_ready_step",
+        "warmup_fails",
     )
 
     def __init__(
@@ -104,6 +135,7 @@ class _ServerSlot:
         self.index = index
         self.orchestrator = orchestrator
         self.state = _ACTIVE
+        self.health = _HEALTHY
         # Before a server's first step its "last power" is its idle draw
         # (allocate([]) is side-effect free).
         self.idle_power_w = orchestrator.server.allocate([]).total_power_w
@@ -115,6 +147,45 @@ class _ServerSlot:
         self.commissioned_step = commissioned_step
         self.ready_step = commissioned_step
         self.decommissioned_step: Optional[int] = None
+        self.throttle_until = 0
+        self.recover_step: Optional[int] = None
+        self.recovery_ready_step = 0
+        self.warmup_fails = False
+
+
+class _RetryTicket:
+    """A request salvaged from a crashed server, waiting to be re-dispatched.
+
+    Carries everything recovery needs: the original workload event (class
+    and playlist provenance), the remaining playlist (the crashed video
+    restarts from its first frame; finished videos are not redone), the
+    crash-attempt count, the step at which the exponential backoff makes the
+    ticket eligible again, and the Q-table snapshot captured from the dying
+    session's controller so learning migrates to the replacement server.
+    """
+
+    __slots__ = ("event", "user_id", "attempt", "ready_step", "playlist", "agent_snapshot")
+
+    def __init__(
+        self, event, user_id, attempt, ready_step, playlist, agent_snapshot
+    ) -> None:
+        self.event = event
+        self.user_id = user_id
+        self.attempt = attempt
+        self.ready_step = ready_step
+        self.playlist = playlist
+        self.agent_snapshot = agent_snapshot
+
+
+class _SessionMeta:
+    """Per-session recovery bookkeeping (kept only when faults are enabled)."""
+
+    __slots__ = ("event", "user_id", "attempt")
+
+    def __init__(self, event, user_id, attempt) -> None:
+        self.event = event
+        self.user_id = user_id
+        self.attempt = attempt
 
 
 @dataclasses.dataclass(frozen=True)
@@ -154,6 +225,17 @@ class ClusterResult:
         degraded quality instead of being shed).
     brownout_steps:
         Cluster steps spent at a brownout level above 0.
+    failed:
+        Admitted requests lost to server crashes whose retry budget ran out
+        (or whose retry was still pending when the run ended).  A session
+        salvaged and re-dispatched appears in ``records_by_server`` under a
+        ``<user>#r<attempt>`` key on its replacement server; the crashed
+        server keeps the partial records under the original key.
+    retried:
+        Successful crash-recovery re-dispatches (session migrations).
+    fault_events:
+        Every injected fault and recovery, in order (empty without a fault
+        injector).
     """
 
     records_by_server: tuple[Mapping[str, Sequence[FrameRecord]], ...]
@@ -169,6 +251,9 @@ class ClusterResult:
     dropped: int = 0
     degraded_sessions: int = 0
     brownout_steps: int = 0
+    failed: int = 0
+    retried: int = 0
+    fault_events: tuple[FaultEvent, ...] = ()
 
     def summary(self) -> ClusterSummary:
         """Aggregate the run into fleet-level metrics."""
@@ -186,6 +271,9 @@ class ClusterResult:
             dropped=self.dropped,
             degraded_sessions=self.degraded_sessions,
             brownout_steps=self.brownout_steps,
+            failed=self.failed,
+            retried=self.retried,
+            fault_events=self.fault_events,
         )
 
 
@@ -241,6 +329,22 @@ class ClusterOrchestrator:
         and newly admitted sessions are served degraded (relaxed FPS
         target and/or the controller's ``degraded_factory``) instead of
         the fleet shedding load.
+    faults:
+        Optional :class:`~repro.cluster.faults.FaultInjector` (or a
+        :class:`~repro.cluster.faults.FaultConfig` to build one) injecting
+        seeded crashes, stragglers and warm-up failures during the arrival
+        window (the drain tail runs fault-free, so admitted sessions always
+        finish).  On a crash, in-flight sessions are salvaged: their
+        controllers' Q-tables are snapshotted, the remaining playlist is
+        re-enqueued with a bounded retry budget and exponential backoff,
+        and a successful re-dispatch restores the snapshot on the
+        replacement server — learning survives the migration.  Requests
+        whose budget runs out land in the ``failed`` ledger.  Fault-driven
+        membership changes flow through the same roster-refresh path as
+        autoscaling resizes, so the scalar and batch engines stay
+        seed-for-seed identical under any fault schedule.  A config with no
+        fault mode enabled draws nothing and is bitwise identical to
+        ``None``.
     """
 
     def __init__(
@@ -260,6 +364,7 @@ class ClusterOrchestrator:
         max_servers: Optional[int] = None,
         provision_warmup_steps: int = 3,
         brownout: Optional[BrownoutController] = None,
+        faults: Optional[FaultInjector | FaultConfig] = None,
     ) -> None:
         if num_servers < 1:
             raise ClusterError(f"num_servers must be >= 1, got {num_servers}")
@@ -320,6 +425,18 @@ class ClusterOrchestrator:
         self._brownout_level = 0
         self._brownout_steps = 0
         self._degraded = 0
+        if isinstance(faults, FaultConfig):
+            faults = FaultInjector(faults)
+        # A no-op injector (no fault mode enabled) makes no draws, but going
+        # through None here also skips the per-session recovery bookkeeping,
+        # making the disabled path literally the pre-fault code.
+        self.faults = faults if faults is not None and faults.enabled else None
+        self._fault_events: list[FaultEvent] = []
+        self._failed_slots: list[_ServerSlot] = []
+        self._retry_queue: list[_RetryTicket] = []
+        self._session_meta: dict[int, _SessionMeta] = {}
+        self._failed = 0
+        self._retried = 0
         # Telemetry defaults to the shared all-null hub; run(telemetry=...)
         # rebinds before the first step.  Sessions being traced from dispatch
         # to their terminal span live in _trace_inflight.
@@ -402,6 +519,24 @@ class ClusterOrchestrator:
             QUEUE_WAIT_EDGES,
             "Queue wait of admitted requests, in steps",
         )
+        self._m_healthy = m.gauge(
+            "repro_fleet_healthy_servers",
+            "Dispatchable servers in full health",
+        )
+        self._m_crashes = m.counter(
+            "repro_server_crashes_total", "Injected abrupt server failures"
+        )
+        self._m_stragglers = m.counter(
+            "repro_stragglers_total", "Injected transient server throttles"
+        )
+        self._m_retried = m.counter(
+            "repro_retried_total",
+            "Sessions salvaged from a crash and re-dispatched",
+        )
+        self._m_failed = m.counter(
+            "repro_failed_total",
+            "Admitted requests lost to crashes past their retry budget",
+        )
 
     def _count_verdict(self, verdict: AdmissionVerdict) -> None:
         if self._metrics.enabled:
@@ -458,9 +593,24 @@ class ClusterOrchestrator:
     # -- state -------------------------------------------------------------------------
 
     def _refresh_fleet_views(self) -> None:
-        """Rebuild the dispatchable/live rosters after a membership change."""
-        self._dispatchable = [s for s in self._slots if s.state == _ACTIVE]
-        live = [s for s in self._slots if s.state != _RETIRED]
+        """Rebuild the dispatchable/live rosters after a membership change.
+
+        Only fully healthy ACTIVE slots are dispatchable — degraded
+        (throttled) and recovering servers take no new sessions, which is
+        how "dispatch and admission skip unhealthy slots" falls out of the
+        existing snapshot machinery for free.  A FAILED slot is off power
+        entirely: it leaves the live roster (and therefore the batch
+        stepper's fleet) exactly like a decommission, and rejoins like a
+        commission once recovered — fault-driven membership changes reuse
+        the resize path, which is what keeps both engines bitwise equal
+        under any fault schedule.
+        """
+        self._dispatchable = [
+            s for s in self._slots if s.state == _ACTIVE and s.health == _HEALTHY
+        ]
+        live = [
+            s for s in self._slots if s.state != _RETIRED and s.health != _FAILED
+        ]
         # The batch stepper's per-server constants are bound to the stepped
         # (live) fleet; state flips that keep the same servers powered on
         # (warming -> active, active -> draining) don't invalidate it.
@@ -502,11 +652,19 @@ class ClusterOrchestrator:
         )
         offline_power_w = 0.0
         warming = 0
+        degraded = 0
+        recovering = 0
         next_ready: Optional[int] = None
         for slot in self._live:
-            if slot.state == _ACTIVE:
+            if slot.state == _ACTIVE and slot.health == _HEALTHY:
                 continue
+            # Powered on but not dispatchable: warming, draining, throttled
+            # or rebooting servers all draw real power against the budget.
             offline_power_w += slot.last_power_w
+            if slot.health == _DEGRADED:
+                degraded += 1
+            elif slot.health == _RECOVERING:
+                recovering += 1
             if slot.state == _WARMING:
                 warming += 1
                 ready_in = max(0, slot.ready_step - step)
@@ -522,6 +680,9 @@ class ClusterOrchestrator:
             warming_ready_in=next_ready,
             brownout_level=self._brownout_level,
             queue_by_class=self._queue_class_view(queue_length),
+            degraded_servers=degraded,
+            failed_servers=len(self._failed_slots),
+            recovering_servers=recovering,
         )
 
     def _queue_class_view(self, queue_length: int) -> dict[str, int]:
@@ -626,6 +787,8 @@ class ClusterOrchestrator:
 
         for step in range(duration):
             self._update_fleet(step)
+            if self.faults is not None:
+                self._inject_faults(step)
             # Age the queue before anything gets a claim on capacity:
             # requests past their patience deadline are dropped, never
             # admitted, and never counted in the queue waits.
@@ -648,6 +811,11 @@ class ClusterOrchestrator:
                     snapshot = dataclasses.replace(snapshot, brownout_level=level)
                 if level > 0:
                     self._brownout_steps += 1
+
+            if self.faults is not None:
+                # Crash survivors whose backoff has elapsed get first claim
+                # on capacity — they were admitted before anyone queued.
+                snapshot = self._process_retries(step, len(queue), snapshot)
 
             # Queued requests get first claim on freed capacity (FIFO: stop
             # at the first request the policy keeps queued).  The head is
@@ -765,6 +933,21 @@ class ClusterOrchestrator:
                     self._trace_progress(steps)
                 steps += 1
 
+        # Retry tickets still pending when the run ends can never be served
+        # (admission closed with the arrival window): their requests join
+        # the ``failed`` ledger, each closing its lifecycle with a terminal
+        # ``failed`` span.
+        for ticket in self._retry_queue:
+            self._failed += 1
+            self._m_failed.inc()
+            tracer.emit(
+                "failed",
+                steps,
+                ticket.user_id,
+                attempts=ticket.attempt,
+                pending=True,
+            )
+        self._retry_queue = []
         if tracer.enabled:
             # Close every open lifecycle: sessions cut off by the end of the
             # run (drain disabled or bounded) end in a ``served`` span with
@@ -808,6 +991,9 @@ class ClusterOrchestrator:
             dropped=dropped,
             degraded_sessions=self._degraded,
             brownout_steps=self._brownout_steps,
+            failed=self._failed,
+            retried=self._retried,
+            fault_events=tuple(self._fault_events),
         )
 
     # -- internals ---------------------------------------------------------------------
@@ -856,10 +1042,21 @@ class ClusterOrchestrator:
         event: WorkloadEvent,
         snapshot: ClusterSnapshot,
         wait_steps: int = 0,
+        ticket: Optional[_RetryTicket] = None,
     ) -> int:
         """Route an admitted event using the snapshot its admission saw
         (cluster state cannot change between the two decisions); returns the
-        chosen snapshot index."""
+        chosen snapshot index.
+
+        With a ``ticket`` this is a crash-recovery re-dispatch: the session
+        is rebuilt from the ticket's remaining playlist under a
+        ``<user>#r<attempt>`` record key (the crashed server keeps the
+        partial records under the original key), and the Q-table snapshot
+        salvaged from the dying controller is restored into the replacement
+        — the migrated session resumes with its learning intact.  Trace
+        spans keep the ORIGINAL user id throughout, so a request's
+        lifecycle stays one stream no matter how often it migrates.
+        """
         index = self.dispatcher.select(event, snapshot)
         if not 0 <= index < len(snapshot.servers):
             raise ClusterError(
@@ -867,6 +1064,18 @@ class ClusterOrchestrator:
                 f"of a {len(snapshot.servers)}-server dispatchable fleet"
             )
         request = event.request
+        playlist = event.playlist
+        trace_id = request.user_id
+        attempt = 0
+        if ticket is not None:
+            trace_id = ticket.user_id
+            attempt = ticket.attempt
+            playlist = ticket.playlist
+            request = dataclasses.replace(
+                request,
+                user_id=f"{ticket.user_id}#r{ticket.attempt}",
+                sequence=ticket.playlist[0],
+            )
         factory = self.controller_factory
         degraded = False
         if self._brownout_level > 0 and self.brownout is not None:
@@ -881,42 +1090,117 @@ class ClusterOrchestrator:
             degraded = True
         controller = factory(request, self.seed + self._admitted)
         self._admitted += 1
+        if ticket is not None:
+            restore_controller(controller, ticket.agent_snapshot)
         session = TranscodingSession(
             request=request,
             controller=controller,
-            playlist=event.playlist,
+            playlist=playlist,
         )
         slot = self._dispatchable[index]
         slot.orchestrator.add_session(session)
         slot.dispatched += 1
         slot.active_count += 1
+        if self.faults is not None:
+            self._session_meta[id(session)] = _SessionMeta(
+                event, trace_id, attempt
+            )
         tracer = self._tracer
         if tracer.enabled:
-            tracer.emit(
-                "dispatched",
-                snapshot.step,
-                event.request.user_id,
-                server=slot.index,
-                wait_steps=wait_steps,
-                degraded=degraded,
-                brownout_level=self._brownout_level,
-            )
+            if ticket is not None:
+                tracer.emit(
+                    "dispatched",
+                    snapshot.step,
+                    trace_id,
+                    server=slot.index,
+                    wait_steps=wait_steps,
+                    degraded=degraded,
+                    brownout_level=self._brownout_level,
+                    retry=attempt,
+                )
+            else:
+                tracer.emit(
+                    "dispatched",
+                    snapshot.step,
+                    trace_id,
+                    server=slot.index,
+                    wait_steps=wait_steps,
+                    degraded=degraded,
+                    brownout_level=self._brownout_level,
+                )
             self._trace_inflight.append(
-                [event.request.user_id, session, 0, len(session.playlist)]
+                [trace_id, session, 0, len(session.playlist)]
             )
         return index
 
     def _update_fleet(self, step: int) -> None:
-        """Activate warmed-up servers; retire drained ones.
+        """Activate warmed-up servers; retire drained ones; heal the sick.
 
         Walks the live roster, not the append-only slot history, so the
         per-step cost tracks the current fleet rather than every server
-        ever commissioned.
+        ever commissioned.  Failure recovery is folded in here: crashed
+        servers whose seeded downtime has elapsed come back on power and
+        reboot through the provisioning warm-up before rejoining the
+        dispatchable roster, and straggler throttles expire.  All of it is
+        pure bookkeeping off pre-drawn schedules — no RNG draws — so the
+        scalar and batch engines see identical fleets.
         """
         changed = False
+        for slot in list(self._failed_slots):
+            if slot.recover_step is not None and step >= slot.recover_step:
+                # Back on power: reboot through the warm-up like a freshly
+                # commissioned server (idle draw, no new sessions) before
+                # returning to full health below.
+                slot.health = _RECOVERING
+                slot.recover_step = None
+                slot.recovery_ready_step = step + self.provision_warmup_steps
+                self._failed_slots.remove(slot)
+                changed = True
         for slot in self._live:
+            if slot.health == _RECOVERING and step >= slot.recovery_ready_step:
+                slot.health = _HEALTHY
+                self._fault_events.append(
+                    FaultEvent(step=step, kind="recovered", server=slot.index)
+                )
+                changed = True
+            elif slot.health == _DEGRADED and step >= slot.throttle_until:
+                slot.health = _HEALTHY
+                self._fault_events.append(
+                    FaultEvent(
+                        step=step,
+                        kind="recovered",
+                        server=slot.index,
+                        detail="throttle expired",
+                    )
+                )
+                changed = True
             if slot.state == _WARMING and step >= slot.ready_step:
-                slot.state = _ACTIVE
+                if slot.warmup_fails:
+                    # The provision never comes ready: the slot is written
+                    # off as both retired and failed.  It held no sessions,
+                    # so nothing is lost; the autoscaler simply sees the
+                    # capacity it ordered fail to appear and re-orders.
+                    slot.state = _RETIRED
+                    slot.health = _FAILED
+                    slot.decommissioned_step = step
+                    self._fault_events.append(
+                        FaultEvent(
+                            step=step,
+                            kind="warmup_failure",
+                            server=slot.index,
+                            detail="provision never became ready",
+                        )
+                    )
+                    if self._tracer.enabled:
+                        self._tracer.emit(
+                            "fault",
+                            step,
+                            f"server-{slot.index}",
+                            fault="warmup_failure",
+                            server=slot.index,
+                        )
+                else:
+                    slot.state = _ACTIVE
                 changed = True
             elif slot.state == _DRAINING and slot.active_count == 0:
                 slot.state = _RETIRED
@@ -924,6 +1208,177 @@ class ClusterOrchestrator:
                 changed = True
         if changed:
             self._refresh_fleet_views()
+
+    def _inject_faults(self, step: int) -> None:
+        """Draw this step's faults from the seeded injector and apply them.
+
+        Walks the live roster in slot order making one Bernoulli draw per
+        vulnerable server — the draw order depends only on fleet membership,
+        never on which engine steps the fleet, so both engines see the
+        identical fault schedule.  Runs only during the arrival window: the
+        drain tail is fault-free, which guarantees admitted sessions
+        eventually finish instead of looping crash-and-retry forever.
+        """
+        faults = self.faults
+        changed = False
+        for slot in list(self._live):
+            if slot.state not in (_ACTIVE, _DRAINING):
+                continue  # warming servers fail via warmup_fails instead
+            if slot.health not in (_HEALTHY, _DEGRADED):
+                continue
+            if faults.crashes():
+                self._crash_slot(slot, step)
+                changed = True
+            elif slot.health == _HEALTHY and faults.straggles():
+                slot.health = _DEGRADED
+                slot.throttle_until = step + faults.throttle_steps()
+                self._fault_events.append(
+                    FaultEvent(
+                        step=step,
+                        kind="straggler",
+                        server=slot.index,
+                        detail=f"throttled until step {slot.throttle_until}",
+                    )
+                )
+                self._m_stragglers.inc()
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "fault",
+                        step,
+                        f"server-{slot.index}",
+                        fault="straggler",
+                        server=slot.index,
+                        until=slot.throttle_until,
+                    )
+                changed = True
+        if changed:
+            self._refresh_fleet_views()
+
+    def _crash_slot(self, slot: _ServerSlot, step: int) -> None:
+        """Abruptly kill one server; salvage its in-flight sessions.
+
+        Every session running on the slot is terminated in place (its
+        partial records stay in the ledger under the original user id), its
+        controller's learned state is snapshotted, and the unfinished rest
+        of its playlist is enqueued as a retry ticket with exponential
+        backoff — unless the session has exhausted its retry budget, in
+        which case it lands in the ``failed`` ledger.  The slot itself goes
+        off power until its seeded recovery step.
+        """
+        faults = self.faults
+        sessions = slot.orchestrator.active_sessions()
+        slot.health = _FAILED
+        slot.recover_step = step + faults.downtime_steps()
+        slot.active_count = 0
+        self._failed_slots.append(slot)
+        self._fault_events.append(
+            FaultEvent(
+                step=step,
+                kind="crash",
+                server=slot.index,
+                sessions_lost=len(sessions),
+                detail=f"down until step {slot.recover_step}",
+            )
+        )
+        self._m_crashes.inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                "fault",
+                step,
+                f"server-{slot.index}",
+                fault="crash",
+                server=slot.index,
+                sessions_lost=len(sessions),
+            )
+            if sessions:
+                crashed = {id(s) for s in sessions}
+                self._trace_inflight = [
+                    entry
+                    for entry in self._trace_inflight
+                    if id(entry[1]) not in crashed
+                ]
+        for session in sessions:
+            meta = self._session_meta.pop(id(session), None)
+            if meta is None:  # session predates fault bookkeeping; treat as fresh
+                meta = _SessionMeta(None, session.request.user_id, 0)
+            snapshot = snapshot_controller(session.controller)
+            remaining = tuple(session.playlist[session.video_index :])
+            frames_done = len(session.records)
+            session.terminate()
+            attempt = meta.attempt + 1
+            if tracer.enabled:
+                tracer.emit(
+                    "interrupted",
+                    step,
+                    meta.user_id,
+                    server=slot.index,
+                    frames=frames_done,
+                    attempt=attempt,
+                )
+            if meta.event is None or attempt > faults.config.max_retries:
+                self._failed += 1
+                self._m_failed.inc()
+                tracer.emit(
+                    "failed",
+                    step,
+                    meta.user_id,
+                    attempts=attempt,
+                    frames=frames_done,
+                )
+            else:
+                self._retry_queue.append(
+                    _RetryTicket(
+                        event=meta.event,
+                        user_id=meta.user_id,
+                        attempt=attempt,
+                        ready_step=faults.retry_ready_step(step, attempt),
+                        playlist=remaining,
+                        agent_snapshot=snapshot,
+                    )
+                )
+
+    def _process_retries(
+        self,
+        step: int,
+        queue_length: int,
+        snapshot: Optional[ClusterSnapshot],
+    ):
+        """Offer due retry tickets back to admission; returns the snapshot.
+
+        Retries bypass the patience queue (the user already paid their
+        wait); a QUEUE or REJECT verdict leaves the ticket pending for the
+        next step rather than consuming a retry attempt — attempts are
+        spent only on crashes.  Successful re-dispatches count in the
+        ``retried`` ledger, not in ``admitted`` (the request was admitted
+        once already).
+        """
+        if not self._retry_queue:
+            return snapshot
+        pending: list[_RetryTicket] = []
+        for ticket in self._retry_queue:
+            if step < ticket.ready_step:
+                pending.append(ticket)
+                continue
+            snapshot = self._derive_snapshot(step, queue_length, snapshot)
+            verdict = self._resolve_verdict(
+                self.admission.decide(ticket.event, snapshot), snapshot
+            )
+            self._count_verdict(verdict)
+            if verdict is AdmissionVerdict.ADMIT:
+                index = self._dispatch(
+                    ticket.event,
+                    snapshot,
+                    wait_steps=step - ticket.event.arrival_step,
+                    ticket=ticket,
+                )
+                snapshot = self._bump_server(snapshot, index)
+                self._retried += 1
+                self._m_retried.inc()
+            else:
+                pending.append(ticket)
+        self._retry_queue = pending
+        return snapshot
 
     def _autoscale(
         self,
@@ -947,6 +1402,7 @@ class ClusterOrchestrator:
             min_servers=self.min_servers,
             max_servers=self.max_servers,
             draining_tail=draining_tail,
+            brownout_level=self._brownout_level,
         )
         decision = self.autoscaler.decide(signals)
         target = min(max(decision.target_servers, self.min_servers), self.max_servers)
@@ -984,6 +1440,12 @@ class ClusterOrchestrator:
             slot.ready_step = step + self.provision_warmup_steps
             if self.provision_warmup_steps > 0:
                 slot.state = _WARMING
+                if self.faults is not None:
+                    # Whether this provision ever comes ready is drawn at
+                    # commission time (one draw per fresh server, in slot
+                    # order) and manifests at ready_step — engine-agnostic
+                    # by construction, like every other fault draw.
+                    slot.warmup_fails = self.faults.provision_fails()
             self._slots.append(slot)
         self._refresh_fleet_views()
         _LOG.debug(
@@ -1065,6 +1527,10 @@ class ClusterOrchestrator:
         every scheduling decision O(servers).
         """
         live = self._live
+        if not live:
+            # Every server down at once (a fault schedule can do what
+            # autoscaling never would); nothing to step or sample.
+            return 0, 0
         stepped = [slot.orchestrator.active_sessions() for slot in live]
         if self.engine == "batch":
             if self._stepper is None:
@@ -1122,10 +1588,19 @@ class ClusterOrchestrator:
             qos_violations=violations,
             dropped=dropped,
             brownout_level=self._brownout_level,
+            healthy_servers=len(self._dispatchable),
+            degraded_servers=sum(
+                1 for s in self._live if s.health == _DEGRADED
+            ),
+            failed_servers=len(self._failed_slots),
+            recovering_servers=sum(
+                1 for s in self._live if s.health == _RECOVERING
+            ),
         )
         self._fleet_trace.append(sample)
         self._profiler.count_step()
         if self._metrics.enabled:
+            self._m_healthy.set(sample.healthy_servers)
             self._m_queue.set(sample.queue_length)
             self._m_live.set(sample.live_servers)
             self._m_dispatchable.set(sample.dispatchable_servers)

@@ -10,6 +10,11 @@ and returns the index of the target server.  Three classic policies ship:
   lowest index, keeping traces deterministic);
 * :class:`PowerAware` — lowest last-step package power wins, steering new
   work to the coolest machine.
+
+Policies never see unhealthy capacity: the snapshot's ``servers`` tuple is
+the *dispatchable* roster, which the orchestrator already strips of
+warming, draining, straggler-throttled and crashed servers — routing
+around failures requires no fault awareness in the policies themselves.
 """
 
 from __future__ import annotations

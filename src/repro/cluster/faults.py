@@ -1,0 +1,214 @@
+"""Seeded fault injection: crashes, stragglers, and failed provisions.
+
+Every server in the original cluster layer was immortal; a production fleet
+is not.  This module supplies the *chaos* half of the failure-recovery
+subsystem: a :class:`FaultInjector` owns its own random stream (independent
+of the workload's and the per-session controllers') and answers, step by
+step, which servers crash, which ones transiently straggle, and which fresh
+provisions never come ready.  The *recovery* half — health states on the
+server roster, session salvage and Q-table migration, retries with
+exponential backoff, the ``failed``/``retried`` ledger — lives in
+:class:`~repro.cluster.cluster.ClusterOrchestrator`.
+
+Fault models
+------------
+
+* **Crash** — an abrupt whole-server failure.  Each healthy or degraded
+  server fails independently with probability ``1 / crash_mtbf_steps`` per
+  step.  A crashed server is down (drawing no power, serving nothing) for an
+  exponentially distributed downtime around ``crash_mttr_steps``, then
+  reboots through the provisioning warm-up before serving again.
+* **Straggler** — a transient frequency/thermal throttle.  A throttled
+  server keeps serving its in-flight sessions but is *removed from the
+  dispatchable roster* for the throttle's duration, so the scheduler routes
+  around it.  Modelling the throttle at the scheduling layer (like brownout
+  degrades only at dispatch) keeps both stepping engines trivially
+  bitwise-equivalent: no in-engine math changes.
+* **Warm-up failure** — a provision that never comes ready.  Each fresh
+  server commissioned by the autoscaler fails with probability
+  ``warmup_failure_rate``; at the step it would have become dispatchable it
+  is retired instead, and the autoscaler sees the lost capacity.
+
+Determinism
+-----------
+
+All draws come from one ``numpy`` generator seeded by ``FaultConfig.seed``
+and are made in cluster-orchestrator code shared verbatim by the scalar and
+batch engines (per-slot in roster order, outside both engines' stepping
+math), so the same config produces the identical fault schedule — and the
+identical run — on either engine.  A config with no fault mode enabled
+(:attr:`FaultConfig.enabled` false) makes no draws at all, so a no-op
+config is bitwise identical to running without one.
+
+Like the scheduling policies, an injector carries state (its RNG stream):
+build a fresh instance per run for reproducible schedules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ClusterError
+
+__all__ = ["FaultConfig", "FaultInjector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig:
+    """Declarative description of one run's fault schedule.
+
+    Attributes
+    ----------
+    crash_mtbf_steps:
+        Per-server mean time between crashes, in cluster steps; each
+        healthy server fails with probability ``1 / crash_mtbf_steps`` per
+        step.  ``None`` disables crashes.
+    crash_mttr_steps:
+        Mean downtime of a crashed server before it starts rebooting
+        (exponentially distributed, at least one step).  The reboot then
+        pays the cluster's provisioning warm-up on top.
+    straggler_mtbf_steps:
+        Per-server mean time between transient throttles; ``None``
+        disables stragglers.
+    straggler_duration_steps:
+        Mean length of a throttle episode (exponential, at least one step).
+    warmup_failure_rate:
+        Probability in ``[0, 1]`` that a freshly commissioned server never
+        comes ready and is retired at the end of its warm-up.
+    max_retries:
+        Crash-retry budget per request: how many times a session lost to a
+        crash is re-dispatched before the request lands in the ``failed``
+        ledger.  0 turns recovery off (the naive load-shedding baseline).
+    retry_backoff_steps:
+        Base of the exponential backoff: the ``n``-th retry becomes
+        eligible ``retry_backoff_steps * 2**(n-1)`` steps after the crash.
+    seed:
+        Seeds the injector's private random stream — independent of the
+        workload and controller seeds, so the same fault schedule can be
+        replayed against different traffic and vice versa.
+    """
+
+    crash_mtbf_steps: Optional[float] = None
+    crash_mttr_steps: float = 10.0
+    straggler_mtbf_steps: Optional[float] = None
+    straggler_duration_steps: float = 5.0
+    warmup_failure_rate: float = 0.0
+    max_retries: int = 3
+    retry_backoff_steps: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crash_mtbf_steps is not None and self.crash_mtbf_steps <= 0:
+            raise ClusterError(
+                f"crash_mtbf_steps must be > 0, got {self.crash_mtbf_steps}"
+            )
+        if self.crash_mttr_steps <= 0:
+            raise ClusterError(
+                f"crash_mttr_steps must be > 0, got {self.crash_mttr_steps}"
+            )
+        if self.straggler_mtbf_steps is not None and self.straggler_mtbf_steps <= 0:
+            raise ClusterError(
+                f"straggler_mtbf_steps must be > 0, got {self.straggler_mtbf_steps}"
+            )
+        if self.straggler_duration_steps <= 0:
+            raise ClusterError(
+                "straggler_duration_steps must be > 0, "
+                f"got {self.straggler_duration_steps}"
+            )
+        if not 0.0 <= self.warmup_failure_rate <= 1.0:
+            raise ClusterError(
+                f"warmup_failure_rate must be in [0, 1], got {self.warmup_failure_rate}"
+            )
+        if self.max_retries < 0:
+            raise ClusterError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_steps < 0:
+            raise ClusterError(
+                f"retry_backoff_steps must be >= 0, got {self.retry_backoff_steps}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault mode can actually fire."""
+        return (
+            self.crash_mtbf_steps is not None
+            or self.straggler_mtbf_steps is not None
+            or self.warmup_failure_rate > 0.0
+        )
+
+
+class FaultInjector:
+    """Draws the fault schedule from its own seeded random stream.
+
+    The orchestrator consults the injector per live server per step (crash,
+    then straggler) and once per freshly commissioned server (warm-up
+    failure).  Disabled modes make no draws, so enabling one mode never
+    perturbs another mode's schedule, and a fully disabled config draws
+    nothing at all.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._crash_p = (
+            min(1.0, 1.0 / config.crash_mtbf_steps)
+            if config.crash_mtbf_steps is not None
+            else 0.0
+        )
+        self._straggle_p = (
+            min(1.0, 1.0 / config.straggler_mtbf_steps)
+            if config.straggler_mtbf_steps is not None
+            else 0.0
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def crashes(self) -> bool:
+        """One per-server-per-step crash draw."""
+        if self._crash_p == 0.0:
+            return False
+        return bool(self._rng.random() < self._crash_p)
+
+    def straggles(self) -> bool:
+        """One per-server-per-step throttle draw."""
+        if self._straggle_p == 0.0:
+            return False
+        return bool(self._rng.random() < self._straggle_p)
+
+    def downtime_steps(self) -> int:
+        """Seeded downtime of one crash (>= 1 steps, mean ~MTTR)."""
+        return 1 + int(self._rng.exponential(self.config.crash_mttr_steps))
+
+    def throttle_steps(self) -> int:
+        """Seeded duration of one straggler episode (>= 1 steps)."""
+        return 1 + int(self._rng.exponential(self.config.straggler_duration_steps))
+
+    def provision_fails(self) -> bool:
+        """One draw per freshly commissioned server."""
+        if self.config.warmup_failure_rate == 0.0:
+            return False
+        return bool(self._rng.random() < self.config.warmup_failure_rate)
+
+    def retry_ready_step(self, step: int, attempt: int) -> int:
+        """Step at which retry ``attempt`` (1-based) becomes eligible."""
+        return step + self.config.retry_backoff_steps * (2 ** (attempt - 1))
+
+    def describe(self) -> dict:
+        """Compact config description for run output and benchmarks."""
+        cfg = self.config
+        out: dict = {"seed": cfg.seed}
+        if cfg.crash_mtbf_steps is not None:
+            out["crash_mtbf_steps"] = cfg.crash_mtbf_steps
+            out["crash_mttr_steps"] = cfg.crash_mttr_steps
+        if cfg.straggler_mtbf_steps is not None:
+            out["straggler_mtbf_steps"] = cfg.straggler_mtbf_steps
+            out["straggler_duration_steps"] = cfg.straggler_duration_steps
+        if cfg.warmup_failure_rate > 0:
+            out["warmup_failure_rate"] = cfg.warmup_failure_rate
+        out["max_retries"] = cfg.max_retries
+        out["retry_backoff_steps"] = cfg.retry_backoff_steps
+        return out

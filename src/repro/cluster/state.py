@@ -110,6 +110,18 @@ class ClusterSnapshot:
         :class:`~repro.cluster.brownout.BrownoutController` (0 = normal
         operation).  Admission policies may trade quality for capacity when
         it is raised.
+    degraded_servers:
+        Powered-on servers inside a straggler throttle.  They keep serving
+        their in-flight sessions but are excluded from ``servers`` (the
+        dispatchable roster), so policies can tell throttled capacity from
+        capacity that simply does not exist.
+    failed_servers:
+        Servers currently down after an injected crash — capacity the fleet
+        has *lost* until their seeded recovery (autoscalers see the smaller
+        dispatchable roster and can replace it).
+    recovering_servers:
+        Crashed servers back on power, rebooting through the provisioning
+        warm-up before they rejoin the dispatchable roster.
     """
 
     step: int
@@ -121,6 +133,9 @@ class ClusterSnapshot:
     warming_ready_in: Optional[int] = None
     brownout_level: int = 0
     queue_by_class: Mapping[str, int] = dataclasses.field(default_factory=dict)
+    degraded_servers: int = 0
+    failed_servers: int = 0
+    recovering_servers: int = 0
 
     def __iter__(self) -> Iterator[ServerSnapshot]:
         return iter(self.servers)

@@ -26,6 +26,8 @@ __all__ = [
     "restore_agent",
     "snapshot_agents",
     "restore_agents",
+    "snapshot_controller",
+    "restore_controller",
     "save_snapshot",
     "load_snapshot",
 ]
@@ -140,6 +142,48 @@ def restore_agents(agents: Mapping[str, QLearningAgent], snapshot: Mapping[str, 
         raise LearningError(f"snapshot contains unknown agents: {sorted(missing)}")
     for name, agent_snapshot in stored.items():
         restore_agent(agents[name], agent_snapshot)
+
+
+def snapshot_controller(controller: Any) -> Mapping[str, Any] | None:
+    """Snapshot a controller's learned state, if it carries any.
+
+    Controllers that expose an ``agents`` name-to-:class:`QLearningAgent`
+    mapping (MAMUT) are snapshotted with :func:`snapshot_agents`; for
+    anything else (static, heuristic) there is nothing to carry and ``None``
+    is returned.  This is the capture half of cluster-level session
+    migration: when a server crashes, the snapshot travels with the retried
+    request so learning survives onto the replacement server.
+    """
+    agents = getattr(controller, "agents", None)
+    if not isinstance(agents, Mapping) or not agents:
+        return None
+    if not all(isinstance(agent, QLearningAgent) for agent in agents.values()):
+        return None
+    return snapshot_agents(agents)
+
+
+def restore_controller(controller: Any, snapshot: Mapping[str, Any] | None) -> bool:
+    """Best-effort restore of :func:`snapshot_controller` output.
+
+    Returns True when the snapshot was loaded into the controller's agents.
+    A ``None`` snapshot, a controller without agents, or a structural
+    mismatch (different agent names or action sets — e.g. the retry was
+    dispatched under a brownout ``degraded_factory``) returns False and the
+    migrated session learns from scratch, which is always safe.  A mismatch
+    detected partway may leave earlier agents of the collection restored;
+    that is harmless — a restored Q-table is just an initialization — and
+    deterministic, so engine equivalence is unaffected.
+    """
+    if snapshot is None:
+        return False
+    agents = getattr(controller, "agents", None)
+    if not isinstance(agents, Mapping) or not agents:
+        return False
+    try:
+        restore_agents(agents, snapshot)
+    except LearningError:
+        return False
+    return True
 
 
 def save_snapshot(snapshot: Mapping[str, Any], path: str | Path) -> Path:

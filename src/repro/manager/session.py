@@ -126,6 +126,21 @@ class TranscodingSession:
         """Total frames across the playlist."""
         return sum(len(video) for video in self.playlist)
 
+    def terminate(self) -> None:
+        """Kill the session in place (its server crashed mid-playlist).
+
+        Marks the playlist as exhausted and discards any half-stepped
+        decision, so the session reads as finished (``active`` False) and
+        is pruned from its orchestrator's active roster without ever being
+        stepped again.  Records already transcoded are kept — the crashed
+        server's partial work stays in the ledger.  Used by the cluster's
+        failure-recovery path; the salvaged remainder of the playlist is
+        re-dispatched as a fresh session.
+        """
+        self._video_index = len(self.playlist)
+        self._frame_index = 0
+        self._pending = None
+
     def preset_for(self, video: VideoSequence) -> Preset:
         """Encoder preset used for a given video."""
         if self._preset_override is not None:

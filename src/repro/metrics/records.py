@@ -6,7 +6,7 @@ import dataclasses
 
 from repro.video.sequence import ResolutionClass
 
-__all__ = ["FrameRecord", "PowerSample", "ScalingEvent", "FleetSample"]
+__all__ = ["FrameRecord", "PowerSample", "ScalingEvent", "FaultEvent", "FleetSample"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,6 +118,37 @@ class ScalingEvent:
 
 
 @dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (or the recovery closing it) on one server.
+
+    Attributes
+    ----------
+    step:
+        Cluster step at which the event fired.
+    kind:
+        ``"crash"`` (abrupt server failure), ``"straggler"`` (transient
+        throttle: the server keeps its sessions but takes no new ones),
+        ``"warmup_failure"`` (a provision that never came ready and was
+        retired), or ``"recovered"`` (a crashed server back in service or a
+        throttle expiring).
+    server:
+        Global slot index of the affected server.
+    sessions_lost:
+        Sessions in flight on the server when a crash killed it (0 for the
+        other kinds — stragglers keep their sessions).
+    detail:
+        Human-readable specifics (planned downtime, throttle length, what
+        the recovery closed).
+    """
+
+    step: int
+    kind: str
+    server: int
+    sessions_lost: int = 0
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class FleetSample:
     """Observable fleet state at the end of one cluster step.
 
@@ -153,6 +184,21 @@ class FleetSample:
     brownout_level:
         Fleet-wide quality-degradation level in force during the step
         (0 = normal operation).
+    healthy_servers:
+        Dispatchable servers in full health — the series exported as
+        ``repro_fleet_healthy_servers``.  Equal to
+        ``dispatchable_servers`` (degraded/failed/recovering servers are
+        excluded from the dispatchable roster); 0 in samples recorded
+        before fault tracking existed.
+    degraded_servers:
+        Powered-on servers inside a straggler throttle (serving their
+        in-flight sessions, taking no new ones).
+    failed_servers:
+        Servers currently down after a crash (powered off, awaiting their
+        seeded recovery).
+    recovering_servers:
+        Crashed servers back on power, rebooting through the provisioning
+        warm-up before they serve again.
     """
 
     step: int
@@ -167,3 +213,7 @@ class FleetSample:
     qos_violations: int
     dropped: int = 0
     brownout_level: int = 0
+    healthy_servers: int = 0
+    degraded_servers: int = 0
+    failed_servers: int = 0
+    recovering_servers: int = 0

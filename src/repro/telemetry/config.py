@@ -16,8 +16,10 @@ attribute per concern and never branches on "is telemetry on?" beyond the
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Optional
 
+from repro.errors import ConfigurationError
 from repro.telemetry.metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -32,6 +34,31 @@ from repro.telemetry.trace import (
 )
 
 __all__ = ["TelemetryConfig", "Telemetry", "resolve_telemetry"]
+
+
+def _check_output_path(label: str, path: Optional[str]) -> None:
+    """Fail fast on an output destination that can never be written.
+
+    Rejects a path whose parent directory does not exist or is not
+    writable, and a path that names an existing directory.  Does NOT
+    create anything — validation must be side-effect free.
+    """
+    if not path:
+        return
+    target = os.path.abspath(path)
+    if os.path.isdir(target):
+        raise ConfigurationError(
+            f"telemetry {label} {path!r} is a directory, not a writable file"
+        )
+    parent = os.path.dirname(target)
+    if not os.path.isdir(parent):
+        raise ConfigurationError(
+            f"telemetry {label} {path!r}: directory {parent!r} does not exist"
+        )
+    if not os.access(parent, os.W_OK):
+        raise ConfigurationError(
+            f"telemetry {label} {path!r}: directory {parent!r} is not writable"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -78,9 +105,19 @@ class TelemetryConfig:
         )
 
     def build(self) -> "Telemetry":
-        """Materialise the live hub this config describes."""
+        """Materialise the live hub this config describes.
+
+        Output paths are validated here — at run *start* — so a bad
+        ``--trace-out``/``--metrics-out`` destination fails immediately
+        with a clear error instead of after minutes of simulation (the
+        trace sink opens lazily and the metrics file is written on
+        finalize, so without this check the failure would surface at the
+        very end).
+        """
         if not self.any_enabled:
             return Telemetry.disabled()
+        _check_output_path("trace_path (--trace-out)", self.trace_path)
+        _check_output_path("metrics_path (--metrics-out)", self.metrics_path)
         if self.trace_sink is not None:
             tracer = RequestTracer(self.trace_sink)
         elif self.trace_path:

@@ -13,7 +13,10 @@ span through a pluggable sink.  Span kinds and their extra fields:
 ``dispatched``
     Sent to a server: ``server`` (global slot index), ``wait_steps``
     (queue steps; 0 = admitted on arrival), ``degraded`` (brownout),
-    ``brownout_level``.
+    ``brownout_level``.  A crash-recovery re-dispatch additionally carries
+    ``retry`` (the attempt number); the field is absent on first
+    dispatches, so fault-free span streams are byte-identical to runs
+    without a fault injector.
 ``video_complete``
     Per-video transcode progress of a running session: ``video`` (playlist
     position just finished), ``videos`` (playlist length).
@@ -24,6 +27,23 @@ span through a pluggable sink.  Span kinds and their extra fields:
     Aged out of the queue past its patience deadline (``waited`` steps).
 ``abandoned`` *(terminal)*
     Still queued when the run ended (``waited`` steps).
+``interrupted``
+    The request's server crashed mid-session: ``server``, ``frames``
+    transcoded so far, ``attempt`` (the retry this crash triggers).  Not
+    terminal — a ``failed`` or another ``dispatched`` span follows.
+``failed`` *(terminal)*
+    Lost to crashes: the retry budget ran out (``attempts``, ``frames``)
+    or the retry was still pending when the run ended (``pending``).
+``fault``
+    Fleet-level fault marker, keyed by server (``request`` is
+    ``server-<index>``, not a user id — excluded from the per-request
+    lifecycle invariant): ``fault`` of ``crash``/``straggler``/
+    ``warmup_failure`` plus fault-specific fields.
+
+All spans whose ``request`` is a user id obey the lifecycle invariant;
+trace spans of a crash-migrated session keep the request's ORIGINAL user
+id across every retry (the ``<user>#r<attempt>`` key appears only in the
+ledger's ``records_by_server``).
 
 Every span carries ``kind``, ``step`` (cluster step; observed simulation
 time, never wall clock — determinism) and ``request`` (the request's
@@ -53,7 +73,7 @@ __all__ = [
 ]
 
 #: Span kinds that end a request's lifecycle (exactly one per arrival).
-TERMINAL_KINDS = frozenset({"served", "rejected", "dropped", "abandoned"})
+TERMINAL_KINDS = frozenset({"served", "rejected", "dropped", "abandoned", "failed"})
 
 
 class TraceSink:

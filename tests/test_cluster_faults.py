@@ -1,0 +1,467 @@
+"""Fault injection and failure recovery: crashes, stragglers, retries.
+
+Covers the three contracts of the fault subsystem:
+
+* **Determinism** — the same ``(workload seed, cluster seed, fault seed)``
+  produces the identical fault schedule and the identical run on both
+  stepping engines: full :class:`~repro.cluster.cluster.ClusterResult`
+  equality (frame records, power traces, ledger, fault events), identical
+  trace span streams, and identical final Q-tables.  A no-op fault config
+  is bitwise identical to running without one.
+* **Recovery semantics** — crashed sessions are salvaged and re-dispatched
+  under ``<user>#r<attempt>`` record keys with their learning migrated;
+  the retry budget bounds the attempts; the ``failed``/``retried`` ledger
+  reconciles with ``admitted``; the drain tail is fault-free.
+* **Brownout-aware autoscaling** — a sustained brownout level produces
+  exactly one appropriately-sized scale-up (no flapping) and freezes
+  scale-downs until the level clears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    AutoscaleSignals,
+    BrownoutController,
+    CapacityThreshold,
+    ClusterOrchestrator,
+    ClusterSnapshot,
+    FaultConfig,
+    FaultInjector,
+    PoissonTraffic,
+    ReactiveThreshold,
+    ServerSnapshot,
+    WorkloadGenerator,
+)
+from repro.core.persistence import snapshot_controller
+from repro.errors import ClusterError
+from repro.manager.factories import static_factory
+from repro.metrics.cluster import ClusterSummary
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.trace import TERMINAL_KINDS, ListTraceSink
+
+
+def run_cluster(
+    engine,
+    *,
+    faults,
+    seed=3,
+    fault_seed=None,
+    servers=3,
+    rate=0.5,
+    duration=40,
+    playlist_videos=2,
+    frames_per_video=8,
+    patience_steps=10,
+    controller_factory=None,
+    autoscaler=None,
+    brownout=None,
+    max_servers=8,
+    provision_warmup_steps=2,
+    trace=False,
+):
+    if fault_seed is not None and faults is not None:
+        faults = dataclasses.replace(faults, seed=fault_seed)
+    workload = WorkloadGenerator(
+        PoissonTraffic(rate),
+        seed=seed,
+        playlist_videos=playlist_videos,
+        frames_per_video=frames_per_video,
+        patience_steps=patience_steps,
+    )
+    cluster = ClusterOrchestrator(
+        servers,
+        workload,
+        admission=CapacityThreshold(max_sessions_per_server=3, max_queue=6),
+        controller_factory=controller_factory,
+        seed=seed,
+        engine=engine,
+        autoscaler=autoscaler,
+        max_servers=max_servers,
+        provision_warmup_steps=provision_warmup_steps,
+        brownout=brownout,
+        faults=faults,
+    )
+    sink = ListTraceSink() if trace else None
+    telemetry = TelemetryConfig(trace_sink=sink) if trace else None
+    result = cluster.run(duration, telemetry=telemetry)
+    return cluster, result, sink
+
+
+MIXED_FAULTS = FaultConfig(
+    crash_mtbf_steps=40.0,
+    crash_mttr_steps=6.0,
+    straggler_mtbf_steps=60.0,
+    straggler_duration_steps=4.0,
+    warmup_failure_rate=0.3,
+    max_retries=2,
+    retry_backoff_steps=1,
+    seed=5,
+)
+
+CRASH_ONLY = FaultConfig(
+    crash_mtbf_steps=25.0, crash_mttr_steps=5.0, max_retries=3,
+    retry_backoff_steps=1, seed=9,
+)
+
+
+def controller_states(cluster):
+    """(session id, learned-state snapshot) for every session ever run."""
+    return [
+        (session.session_id, snapshot_controller(session.controller))
+        for orchestrator in cluster.orchestrators
+        for session in orchestrator.sessions
+    ]
+
+
+def assert_identical(a, b):
+    assert a.records_by_server == b.records_by_server
+    assert a.samples_by_server == b.samples_by_server
+    assert a.queue_waits == b.queue_waits
+    assert a.fleet_trace == b.fleet_trace
+    assert a.fault_events == b.fault_events
+    assert (a.arrivals, a.admitted, a.rejected, a.dropped, a.abandoned) == (
+        b.arrivals, b.admitted, b.rejected, b.dropped, b.abandoned
+    )
+    assert (a.failed, a.retried, a.steps) == (b.failed, b.retried, b.steps)
+    assert a.summary() == b.summary()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ClusterError):
+            FaultConfig(crash_mtbf_steps=0.0)
+        with pytest.raises(ClusterError):
+            FaultConfig(crash_mttr_steps=-1.0)
+        with pytest.raises(ClusterError):
+            FaultConfig(straggler_mtbf_steps=-2.0)
+        with pytest.raises(ClusterError):
+            FaultConfig(warmup_failure_rate=1.5)
+        with pytest.raises(ClusterError):
+            FaultConfig(max_retries=-1)
+
+    def test_enabled_reflects_modes(self):
+        assert not FaultConfig().enabled
+        assert FaultConfig(crash_mtbf_steps=10.0).enabled
+        assert FaultConfig(straggler_mtbf_steps=10.0).enabled
+        assert FaultConfig(warmup_failure_rate=0.1).enabled
+
+    def test_retry_backoff_is_exponential(self):
+        injector = FaultInjector(
+            FaultConfig(crash_mtbf_steps=10.0, retry_backoff_steps=2)
+        )
+        assert injector.retry_ready_step(100, 1) == 102
+        assert injector.retry_ready_step(100, 2) == 104
+        assert injector.retry_ready_step(100, 3) == 108
+
+
+class TestEngineEquivalence:
+    """Bitwise scalar/batch equality under seeded fault schedules."""
+
+    @pytest.mark.parametrize("fault_seed", [5, 17])
+    def test_mixed_fault_schedule(self, fault_seed):
+        # Crash + straggler + warm-up failure mix with autoscaling: the
+        # full result, the span stream and every final Q-table must match.
+        autoscale = lambda: ReactiveThreshold(
+            sessions_per_server=3, scale_down_cooldown_steps=8
+        )
+        ca, ra, sa = run_cluster(
+            "scalar", faults=MIXED_FAULTS, fault_seed=fault_seed,
+            autoscaler=autoscale(), trace=True,
+        )
+        cb, rb, sb = run_cluster(
+            "batch", faults=MIXED_FAULTS, fault_seed=fault_seed,
+            autoscaler=autoscale(), trace=True,
+        )
+        assert_identical(ra, rb)
+        assert sa.spans == sb.spans
+        assert controller_states(ca) == controller_states(cb)
+        # The schedule actually exercised the machinery.
+        kinds = {event.kind for event in ra.fault_events}
+        assert "crash" in kinds
+
+    def test_crash_only_schedule_with_static_controllers(self):
+        _, ra, sa = run_cluster(
+            "scalar", faults=CRASH_ONLY,
+            controller_factory=static_factory(32, 4, 3.2), trace=True,
+        )
+        _, rb, sb = run_cluster(
+            "batch", faults=CRASH_ONLY,
+            controller_factory=static_factory(32, 4, 3.2), trace=True,
+        )
+        assert_identical(ra, rb)
+        assert sa.spans == sb.spans
+        assert any(e.kind == "crash" for e in ra.fault_events)
+
+    @pytest.mark.parametrize("seed", [1, 2, 11])
+    def test_property_randomized_schedules_with_brownout(self, seed):
+        # Property-style sweep: faults layered on autoscaling AND brownout,
+        # different workload/fault seeds each time.
+        def kwargs():
+            return dict(
+                faults=MIXED_FAULTS,
+                seed=seed,
+                fault_seed=seed + 100,
+                rate=0.8,
+                autoscaler=ReactiveThreshold(
+                    sessions_per_server=3, scale_down_cooldown_steps=8
+                ),
+                brownout=BrownoutController(sessions_per_server=3),
+            )
+
+        _, ra, _ = run_cluster("scalar", **kwargs())
+        _, rb, _ = run_cluster("batch", **kwargs())
+        assert_identical(ra, rb)
+
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_noop_fault_config_is_bitwise_none(self, engine):
+        # Determinism guard: a config with no fault mode enabled must not
+        # perturb anything — not a single RNG draw differs from None.
+        _, ra, _ = run_cluster(engine, faults=None)
+        _, rb, _ = run_cluster(engine, faults=FaultConfig())
+        assert ra == rb
+
+    def test_same_config_reproduces(self):
+        _, ra, _ = run_cluster("batch", faults=MIXED_FAULTS)
+        _, rb, _ = run_cluster("batch", faults=MIXED_FAULTS)
+        assert ra == rb
+
+
+class TestRecoverySemantics:
+    def test_migrated_sessions_and_ledger(self):
+        _, result, sink = run_cluster("batch", faults=CRASH_ONLY, trace=True)
+        assert result.retried > 0
+        # Salvaged sessions land under <user>#r<attempt> keys on their
+        # replacement server; the crashed server keeps the partial records.
+        migrated = [
+            key
+            for per_server in result.records_by_server
+            for key in per_server
+            if "#r" in key
+        ]
+        assert len(migrated) == result.retried
+        assert migrated
+        # Ledger arithmetic still reconciles.
+        assert result.arrivals == (
+            result.admitted + result.rejected + result.dropped + result.abandoned
+        )
+        assert 0 <= result.failed <= result.admitted
+        summary = result.summary()
+        assert summary.failed == result.failed
+        assert summary.retried == result.retried
+        assert summary.server_crashes == sum(
+            1 for e in result.fault_events if e.kind == "crash"
+        )
+        assert summary.mean_healthy_servers > 0
+
+    def test_trace_lifecycle_invariant_under_faults(self):
+        _, result, sink = run_cluster("batch", faults=MIXED_FAULTS, trace=True)
+        spans = [s for s in sink.spans if not s["request"].startswith("server-")]
+        arrivals = {s["request"] for s in spans if s["kind"] == "arrival"}
+        terminals = {}
+        for span in spans:
+            if span["kind"] in TERMINAL_KINDS:
+                terminals[span["request"]] = terminals.get(span["request"], 0) + 1
+        # Exactly one terminal span per arrival, crashes notwithstanding;
+        # migrated sessions keep their original user id in the trace.
+        assert set(terminals) == arrivals
+        assert all(count == 1 for count in terminals.values())
+        assert not any("#r" in request for request in terminals)
+        failed_spans = [s for s in spans if s["kind"] == "failed"]
+        assert len(failed_spans) == result.failed
+        retry_dispatches = [
+            s for s in spans if s["kind"] == "dispatched" and "retry" in s
+        ]
+        assert len(retry_dispatches) == result.retried
+
+    def test_zero_retry_budget_sheds_crashed_sessions(self):
+        config = FaultConfig(
+            crash_mtbf_steps=25.0, crash_mttr_steps=5.0, max_retries=0, seed=9
+        )
+        _, result, _ = run_cluster("batch", faults=config)
+        crashes_with_sessions = sum(
+            e.sessions_lost for e in result.fault_events if e.kind == "crash"
+        )
+        assert crashes_with_sessions > 0
+        assert result.retried == 0
+        assert result.failed == crashes_with_sessions
+
+    def test_faults_fire_only_in_arrival_window(self):
+        duration = 40
+        _, result, _ = run_cluster("batch", faults=MIXED_FAULTS, duration=duration)
+        assert result.steps > duration  # a drain tail actually ran
+        injected = [
+            e for e in result.fault_events
+            if e.kind in ("crash", "straggler", "warmup_failure")
+        ]
+        assert injected
+        assert all(e.step < duration for e in injected)
+
+    def test_fleet_trace_records_health(self):
+        _, result, _ = run_cluster("batch", faults=CRASH_ONLY)
+        assert any(s.failed_servers > 0 for s in result.fleet_trace)
+        # Capacity comes back: the fleet ends the run with healthy servers.
+        assert result.fleet_trace[-1].healthy_servers > 0
+        for sample in result.fleet_trace:
+            assert sample.healthy_servers <= sample.dispatchable_servers
+
+    def test_warmup_failures_are_retired_not_dispatched(self):
+        config = FaultConfig(warmup_failure_rate=1.0, seed=2)
+        _, result, _ = run_cluster(
+            "batch",
+            faults=config,
+            rate=1.5,
+            autoscaler=ReactiveThreshold(
+                sessions_per_server=3, scale_down_cooldown_steps=8
+            ),
+        )
+        failures = [e for e in result.fault_events if e.kind == "warmup_failure"]
+        assert failures  # the autoscaler commissioned and every one failed
+        # Failed provisions never served: their record maps are empty.
+        for event in failures:
+            assert result.records_by_server[event.server] == {}
+
+
+class TestBrownoutAwareAutoscaling:
+    @staticmethod
+    def signals(step, provisioned, level, active_per_server=1):
+        servers = tuple(
+            ServerSnapshot(
+                server_index=index,
+                active_sessions=active_per_server,
+                last_power_w=50.0,
+                sessions_dispatched=active_per_server,
+            )
+            for index in range(provisioned)
+        )
+        snapshot = ClusterSnapshot(
+            step=step,
+            servers=servers,
+            queue_length=0,
+            power_cap_w=100.0 * provisioned,
+            brownout_level=level,
+        )
+        return AutoscaleSignals(
+            step=step,
+            snapshot=snapshot,
+            arrivals=0,
+            provisioned_servers=provisioned,
+            warming_servers=0,
+            draining_servers=0,
+            min_servers=1,
+            max_servers=16,
+            brownout_level=level,
+        )
+
+    def test_sustained_level_scales_up_exactly_once(self):
+        policy = ReactiveThreshold(
+            sessions_per_server=4,
+            scale_down_cooldown_steps=5,
+            brownout_servers_per_level=2,
+        )
+        first = policy.decide(self.signals(0, provisioned=4, level=1))
+        assert first.target_servers == 6
+        # The fleet grows to 6; the level persists: hold, do not flap.
+        for step in range(1, 10):
+            decision = policy.decide(self.signals(step, provisioned=6, level=1))
+            assert decision.target_servers == 6
+
+    def test_level_rise_raises_the_target(self):
+        policy = ReactiveThreshold(
+            sessions_per_server=4,
+            scale_down_cooldown_steps=5,
+            brownout_servers_per_level=2,
+        )
+        assert policy.decide(self.signals(0, 4, level=1)).target_servers == 6
+        assert policy.decide(self.signals(1, 6, level=2)).target_servers == 8
+
+    def test_no_scale_down_while_browned_out(self):
+        policy = ReactiveThreshold(
+            sessions_per_server=4,
+            scale_down_cooldown_steps=0,
+            brownout_servers_per_level=0,
+        )
+        # Utilization far below the scale-down threshold, but level > 0.
+        decision = policy.decide(
+            self.signals(20, provisioned=6, level=1, active_per_server=0)
+        )
+        assert decision.target_servers == 6
+
+    def test_base_resets_between_episodes(self):
+        policy = ReactiveThreshold(
+            sessions_per_server=4,
+            scale_down_cooldown_steps=0,
+            brownout_servers_per_level=1,
+        )
+        assert policy.decide(self.signals(0, 4, level=1)).target_servers == 5
+        # Episode clears; fleet shrinks back over time.
+        down = policy.decide(self.signals(10, 5, level=0, active_per_server=0))
+        assert down.target_servers == 4
+        # Next episode is judged from its own base, not the stale one.
+        assert policy.decide(self.signals(20, 4, level=1)).target_servers == 5
+
+    def test_queue_pressure_still_wins(self):
+        # A real queue fires the ordinary scale-up branch even during
+        # brownout (it sizes the move to the backlog).
+        policy = ReactiveThreshold(
+            sessions_per_server=4, scale_up_queue=4, brownout_servers_per_level=1
+        )
+        signals = self.signals(0, 4, level=1)
+        snapshot = ClusterSnapshot(
+            step=0,
+            servers=signals.snapshot.servers,
+            queue_length=8,
+            power_cap_w=400.0,
+            brownout_level=1,
+        )
+        signals = dataclasses.replace(signals, snapshot=snapshot)
+        assert policy.decide(signals).target_servers == 6
+
+    def test_orchestrator_passes_level_through(self):
+        # End-to-end: a browned-out overloaded fleet with the brownout-aware
+        # policy grows beyond what it had at brownout onset.
+        autoscaler = ReactiveThreshold(
+            sessions_per_server=3,
+            scale_down_cooldown_steps=8,
+            brownout_servers_per_level=1,
+        )
+        _, result, _ = run_cluster(
+            "batch",
+            faults=None,
+            rate=2.5,
+            servers=2,
+            autoscaler=autoscaler,
+            brownout=BrownoutController(sessions_per_server=3),
+        )
+        assert result.summary().brownout_steps > 0
+        assert any(e.direction == "up" for e in result.scaling_events)
+
+
+class TestSummaryRoundTrip:
+    def test_fault_fields_round_trip(self):
+        _, result, _ = run_cluster("batch", faults=MIXED_FAULTS)
+        summary = result.summary()
+        clone = ClusterSummary.from_dict(summary.to_dict())
+        assert clone == summary
+        assert clone.failed == summary.failed
+        assert clone.server_crashes == summary.server_crashes
+
+    def test_pre_fault_payloads_still_load(self):
+        # A JSON written before the fault fields existed must load with the
+        # new fields at their defaults.
+        _, result, _ = run_cluster("batch", faults=None, duration=10)
+        payload = result.summary().to_dict()
+        for key in (
+            "failed", "retried", "server_crashes", "stragglers",
+            "warmup_failures", "mean_healthy_servers",
+        ):
+            payload.pop(key)
+        loaded = ClusterSummary.from_dict(payload)
+        assert loaded.failed == 0
+        assert loaded.retried == 0
+        assert loaded.server_crashes == 0
+        assert loaded.mean_healthy_servers == 0.0
+        assert loaded.arrivals == result.arrivals

@@ -29,6 +29,7 @@ from repro.cluster import (
     FlashCrowdTraffic,
     WorkloadGenerator,
 )
+from repro.errors import ConfigurationError
 from repro.manager.factories import static_factory
 from repro.telemetry import (
     TERMINAL_KINDS,
@@ -431,3 +432,46 @@ class TestLogging:
     def test_unknown_level_is_rejected(self):
         with pytest.raises(ValueError):
             configure_logging("loud")
+
+
+# -- output-path validation ----------------------------------------------------------
+
+
+class TestOutputPathValidation:
+    """Bad ``--trace-out``/``--metrics-out`` paths fail at run *start*.
+
+    Telemetry sinks open lazily and metrics flush at ``finalize()``; without
+    up-front validation a typo'd directory would burn the whole run before
+    raising.  ``TelemetryConfig.build()`` therefore validates both paths
+    eagerly — and side-effect free (no file is created by the check).
+    """
+
+    def test_missing_parent_directory_is_rejected(self, tmp_path):
+        bad = tmp_path / "no" / "such" / "dir" / "trace.jsonl"
+        with pytest.raises(ConfigurationError, match="trace_path"):
+            TelemetryConfig(trace_path=str(bad)).build()
+        with pytest.raises(ConfigurationError, match="metrics_path"):
+            TelemetryConfig(metrics_path=str(bad)).build()
+
+    def test_directory_target_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="is a directory"):
+            TelemetryConfig(trace_path=str(tmp_path)).build()
+
+    def test_validation_creates_nothing(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        hub = TelemetryConfig(trace_path=str(target)).build()
+        assert not target.exists()  # sink stays lazy; check left no droppings
+        hub.finalize()
+
+    def test_valid_paths_build_and_write(self, tmp_path):
+        hub = TelemetryConfig(
+            trace_path=str(tmp_path / "trace.jsonl"),
+            metrics_path=str(tmp_path / "metrics.prom"),
+        ).build()
+        hub.metrics.counter("repro_ok_total").inc()
+        hub.finalize()
+        assert (tmp_path / "metrics.prom").exists()
+
+    def test_disabled_config_skips_validation(self):
+        # No outputs requested: nothing to validate, never raises.
+        assert not TelemetryConfig().build().enabled
