@@ -44,7 +44,7 @@ from repro.cluster import (
 )
 from repro.manager.factories import static_factory
 from repro.metrics.report import format_table
-from repro.telemetry import LOG_LEVELS, configure_logging
+from repro.telemetry import LOG_LEVELS, configure_logging, stamp_provenance
 
 _LOG = logging.getLogger("repro.benchmarks.autoscale")
 
@@ -184,7 +184,23 @@ def run_benchmark(smoke: bool) -> dict:
                 float_format="{:.2f}",
             )
         )
-    return payload
+    return stamp_provenance(
+        payload,
+        kind="autoscale",
+        seed=SEED,
+        config={
+            "sessions_per_server": SESSIONS_PER_SERVER,
+            "smoke": smoke,
+            "scenarios": {
+                name: {
+                    key: value
+                    for key, value in scenario.items()
+                    if isinstance(value, (int, float, str, bool))
+                }
+                for name, scenario in scenarios.items()
+            },
+        },
+    )
 
 
 def main() -> None:

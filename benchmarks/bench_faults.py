@@ -41,7 +41,7 @@ from repro.cluster import (
 )
 from repro.manager.factories import static_factory
 from repro.metrics.report import format_table
-from repro.telemetry import LOG_LEVELS, configure_logging
+from repro.telemetry import LOG_LEVELS, configure_logging, stamp_provenance
 
 _LOG = logging.getLogger("repro.benchmarks.faults")
 
@@ -147,26 +147,39 @@ def run_benchmark(smoke: bool) -> dict:
         )
     )
 
-    return {
-        "benchmark": "faults",
-        "servers": SERVERS,
-        "sessions_per_server": SESSIONS_PER_SERVER,
-        "seed": SEED,
-        "fault_seed": FAULT_SEED,
-        "mttr_steps": MTTR_STEPS,
-        "retry_budget": RETRY_BUDGET,
-        "smoke": smoke,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "scenario": {
-            key: scenario[key]
-            for key in (
-                "rate", "duration", "frames_per_video",
-                "playlist_videos", "patience", "max_queue",
-            )
-        },
-        "sweep": sweep,
+    scenario_dict = {
+        key: scenario[key]
+        for key in (
+            "rate", "duration", "frames_per_video",
+            "playlist_videos", "patience", "max_queue",
+        )
     }
+    return stamp_provenance(
+        {
+            "benchmark": "faults",
+            "servers": SERVERS,
+            "sessions_per_server": SESSIONS_PER_SERVER,
+            "seed": SEED,
+            "fault_seed": FAULT_SEED,
+            "mttr_steps": MTTR_STEPS,
+            "retry_budget": RETRY_BUDGET,
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "scenario": scenario_dict,
+            "sweep": sweep,
+        },
+        kind="faults",
+        seed={"seed": SEED, "fault_seed": FAULT_SEED},
+        config={
+            "servers": SERVERS,
+            "sessions_per_server": SESSIONS_PER_SERVER,
+            "mttr_steps": MTTR_STEPS,
+            "retry_budget": RETRY_BUDGET,
+            "smoke": smoke,
+            "scenario": scenario_dict,
+        },
+    )
 
 
 def main() -> None:

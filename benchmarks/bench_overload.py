@@ -45,7 +45,7 @@ from repro.cluster import (
 )
 from repro.manager.factories import static_factory
 from repro.metrics.report import format_table
-from repro.telemetry import LOG_LEVELS, configure_logging
+from repro.telemetry import LOG_LEVELS, configure_logging, stamp_provenance
 
 _LOG = logging.getLogger("repro.benchmarks.overload")
 
@@ -189,22 +189,33 @@ def run_benchmark(smoke: bool) -> dict:
         )
     )
 
-    return {
-        "benchmark": "overload",
-        "servers": SERVERS,
-        "sessions_per_server": SESSIONS_PER_SERVER,
-        "seed": SEED,
-        "smoke": smoke,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "scenario": {
-            "duration": scenario["duration"],
-            "frames_per_video": scenario["frames_per_video"],
-            "patience": scenario["patience"],
-            "brownout_extra_sessions": scenario["brownout_extra_sessions"],
-        },
-        "configs": results,
+    scenario_dict = {
+        "duration": scenario["duration"],
+        "frames_per_video": scenario["frames_per_video"],
+        "patience": scenario["patience"],
+        "brownout_extra_sessions": scenario["brownout_extra_sessions"],
     }
+    return stamp_provenance(
+        {
+            "benchmark": "overload",
+            "servers": SERVERS,
+            "sessions_per_server": SESSIONS_PER_SERVER,
+            "seed": SEED,
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "scenario": scenario_dict,
+            "configs": results,
+        },
+        kind="overload",
+        seed=SEED,
+        config={
+            "servers": SERVERS,
+            "sessions_per_server": SESSIONS_PER_SERVER,
+            "smoke": smoke,
+            "scenario": scenario_dict,
+        },
+    )
 
 
 def main() -> None:

@@ -53,6 +53,7 @@ from repro.telemetry import (
     NULL_PROFILER,
     StepProfiler,
     configure_logging,
+    stamp_provenance,
 )
 
 _LOG = logging.getLogger("repro.benchmarks.step_throughput")
@@ -294,6 +295,19 @@ def merge_into_output(payload: dict, output: Path) -> dict:
     merged["speedup_batch_over_scalar"][controller] = payload[
         "speedup_batch_over_scalar"
     ]
+    # Controller is deliberately NOT part of the fingerprint: the merged
+    # file accumulates every controller's rows, and wall-clock throughput
+    # comparisons need a tolerance anyway — config pins only what shapes
+    # the measured work.
+    stamp_provenance(
+        merged,
+        kind="step_throughput",
+        seed=0,
+        config={
+            "sessions_per_server": payload["sessions_per_server"],
+            "steps_timed": payload["steps_timed"],
+        },
+    )
     output.write_text(json.dumps(merged, indent=2) + "\n")
     return merged
 

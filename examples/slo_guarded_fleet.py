@@ -1,0 +1,169 @@
+"""SLO-guarded fleet: declare promises, watch them burn, audit the trace.
+
+A flash crowd hits an undersized fleet while three service-level
+objectives watch from the observe-only telemetry path:
+
+* ``queue-wait-p95`` — windowed p95 queue wait stays at or under 4 steps;
+* ``shed-rate`` — at most 10% of windowed arrivals are shed
+  (rejected + dropped + failed);
+* ``qos-violation-rate`` — at most 40% of windowed frames violate QoS.
+
+Each objective is judged every step over a rolling window and spends an
+error budget while in breach; breach *entries* land in the request trace
+as ``slo_breach`` spans.  After the run, the same span stream is fed to
+the trace analytics (`analyze_trace`) to reconstruct per-request
+lifecycles, break latency down into queue wait / service / retry
+overhead, and reconcile the whole view against the run's summary ledger —
+proving the trace and the ledger tell one story.
+
+Because SLO evaluation draws no randomness and mutates nothing, the
+guarded run is bitwise identical to an unguarded one — which this example
+also demonstrates.
+
+Run with::
+
+    python examples/slo_guarded_fleet.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+from repro.cluster import (
+    CapacityThreshold,
+    ClusterOrchestrator,
+    FlashCrowdTraffic,
+    WorkloadGenerator,
+)
+from repro.metrics.report import format_table
+from repro.telemetry import (
+    LOG_LEVELS,
+    ListTraceSink,
+    QueueWaitObjective,
+    ShedRateObjective,
+    TelemetryConfig,
+    ViolationRateObjective,
+    analyze_trace,
+    configure_logging,
+)
+
+_LOG = logging.getLogger("repro.examples.slo_guarded_fleet")
+
+SERVERS = 3
+DURATION = 60
+SEED = 4
+
+OBJECTIVES = (
+    QueueWaitObjective(
+        name="queue-wait-p95", max_steps=4.0, window_steps=16,
+        error_budget_pct=10.0,
+    ),
+    ShedRateObjective(
+        name="shed-rate", max_pct=10.0, window_steps=16, error_budget_pct=10.0
+    ),
+    ViolationRateObjective(
+        name="qos-violation-rate", max_pct=40.0, window_steps=16,
+        error_budget_pct=10.0,
+    ),
+)
+
+
+def make_cluster() -> ClusterOrchestrator:
+    workload = WorkloadGenerator(
+        FlashCrowdTraffic(
+            0.8, peak_multiplier=4.0, start=DURATION // 3, duration=DURATION // 5
+        ),
+        seed=SEED,
+        frames_per_video=24,
+        patience_steps=10,
+    )
+    return ClusterOrchestrator(
+        SERVERS,
+        workload,
+        admission=CapacityThreshold(max_sessions_per_server=3, max_queue=8),
+        seed=SEED,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the repro logger",
+    )
+    configure_logging(parser.parse_args().log_level)
+
+    # The unguarded control run: same seeds, no telemetry at all.
+    baseline = make_cluster().run(DURATION).summary()
+
+    # The guarded run: SLO objectives + a request trace, same seeds.
+    sink = ListTraceSink()
+    cluster = make_cluster()
+    result = cluster.run(
+        DURATION, telemetry=TelemetryConfig(trace_sink=sink, slo=OBJECTIVES)
+    )
+    summary = result.summary()
+
+    identical = baseline.to_dict() == summary.to_dict()
+    _LOG.info(
+        "=== Observe-only contract: guarded run identical to baseline: %s ===",
+        identical,
+    )
+
+    _LOG.info("\nSLO report (%d steps, flash crowd mid-run):", result.steps)
+    _LOG.info(
+        format_table(
+            ["objective", "breach steps", "budget used (%)", "max burn",
+             "worst", "verdict"],
+            [
+                [
+                    row["name"],
+                    f"{row['breach_steps']}/{row['steps']}",
+                    row["budget_consumed_pct"],
+                    row["max_burn_rate"],
+                    row["worst_value"],
+                    "OK" if row["healthy"] else "BREACHED",
+                ]
+                for row in cluster.telemetry.slo.report()
+            ],
+            float_format="{:.2f}",
+        )
+    )
+
+    analysis = analyze_trace(sink)
+    _LOG.info("\nBreach entries in the trace:")
+    for span in analysis.slo_breaches:
+        _LOG.info(
+            "  step %3d  %-18s value %6.2f > %.2f (burn %.2f)",
+            span["step"], span["slo"], span["value"], span["threshold"],
+            span["burn_rate"],
+        )
+
+    _LOG.info("\nLatency breakdown from the span stream (steps):")
+    _LOG.info(
+        format_table(
+            ["population", "n", "mean", "p50", "p95", "p99", "max"],
+            [
+                [label, s.count, s.mean, s.p50, s.p95, s.p99, s.max]
+                for label, s in [
+                    ("queue wait", analysis.wait_stats()),
+                    ("service", analysis.service_stats()),
+                    ("end-to-end", analysis.end_to_end_stats()),
+                ]
+            ],
+            float_format="{:.2f}",
+        )
+    )
+
+    mismatches = analysis.reconcile(summary)
+    _LOG.info(
+        "\nTrace-vs-ledger reconciliation: %s",
+        "OK" if not mismatches else f"MISMATCH {mismatches}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ Provides quick access to the main experiments without writing Python::
     repro-mamut cluster --traffic flash --patience 12 --brownout
     repro-mamut cluster --admission class-aware --hr-max-queue 32 --lr-max-queue 4
     repro-mamut cluster --fault-mtbf 60 --fault-seed 7 --autoscale reactive
+    repro-mamut cluster --slo-queue-wait-p95 4 --slo-shed-rate 5 --summary-out run.json
+    repro-mamut obs report trace.jsonl --summary run.json
+    repro-mamut obs compare baseline.json candidate.json --rel-tol 0.01
 
 (Equivalently: ``python -m repro.cli <command> ...``.)
 """
@@ -20,6 +23,8 @@ Provides quick access to the main experiments without writing Python::
 from __future__ import annotations
 
 import argparse
+import fnmatch
+import json
 import sys
 from typing import Sequence
 
@@ -58,8 +63,20 @@ from repro.manager.orchestrator import Orchestrator
 from repro.manager.runner import ExperimentRunner
 from repro.manager.scenario import scenario_one
 from repro.manager.session import TranscodingSession
+from repro.metrics.cluster import ClusterSummary
 from repro.metrics.report import format_table
-from repro.telemetry import LOG_LEVELS, TelemetryConfig, configure_logging
+from repro.telemetry import (
+    LOG_LEVELS,
+    QueueWaitObjective,
+    ShedRateObjective,
+    TelemetryConfig,
+    ViolationRateObjective,
+    analyze_trace,
+    configure_logging,
+    provenance_mismatches,
+    provenance_of,
+    stamp_provenance,
+)
 from repro.video.catalog import make_sequence
 from repro.video.request import TranscodingRequest
 
@@ -313,10 +330,99 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report per-phase engine wall time after the run",
     )
+    cluster.add_argument(
+        "--summary-out",
+        default=None,
+        metavar="PATH",
+        help="write the run summary (with provenance) as JSON to PATH, "
+        "for 'repro-mamut obs compare'",
+    )
+    cluster.add_argument(
+        "--slo-queue-wait-p95",
+        type=float,
+        default=None,
+        metavar="STEPS",
+        help="SLO: windowed p95 queue wait must stay <= STEPS",
+    )
+    cluster.add_argument(
+        "--slo-shed-rate",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="SLO: windowed shed rate (rejected+dropped+failed) <= PCT%% of arrivals",
+    )
+    cluster.add_argument(
+        "--slo-violation-rate",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="SLO: windowed QoS-violating frames <= PCT%% of frames",
+    )
+    cluster.add_argument(
+        "--slo-window",
+        type=int,
+        default=32,
+        metavar="STEPS",
+        help="rolling window the SLO objectives are judged over",
+    )
+    cluster.add_argument(
+        "--slo-budget",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="error budget: share of run steps each SLO may spend in breach",
+    )
     cluster.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     cluster.add_argument("--power-cap", type=float, default=argparse.SUPPRESS)
     cluster.add_argument(
         "--log-level", choices=LOG_LEVELS, default=argparse.SUPPRESS
+    )
+
+    obs = subparsers.add_parser(
+        "obs", help="observability: analyse traces, compare run artifacts"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_commands.add_parser(
+        "report", help="human-readable analysis of a trace JSONL"
+    )
+    report.add_argument("trace", help="span stream written by --trace-out")
+    report.add_argument(
+        "--summary",
+        default=None,
+        metavar="PATH",
+        help="run artifact from --summary-out to reconcile the trace against",
+    )
+    compare = obs_commands.add_parser(
+        "compare",
+        help="diff two --summary-out artifacts; nonzero exit on regression",
+    )
+    compare.add_argument("baseline", help="baseline run artifact (JSON)")
+    compare.add_argument("candidate", help="candidate run artifact (JSON)")
+    compare.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="relative tolerance for numeric drift (e.g. 0.01 = 1%%)",
+    )
+    compare.add_argument(
+        "--abs-tol",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="absolute tolerance for numeric drift",
+    )
+    compare.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="dotted metric paths to skip (fnmatch glob; repeatable)",
+    )
+    compare.add_argument(
+        "--force",
+        action="store_true",
+        help="diff anyway when provenance says the runs are not comparable",
     )
 
     return parser
@@ -480,6 +586,81 @@ def _cluster_admission(args: argparse.Namespace):
     return policy
 
 
+def _cluster_slo(args: argparse.Namespace) -> tuple:
+    """SLO objectives from the ``--slo-*`` flags (empty when none given)."""
+    objectives = []
+    if args.slo_queue_wait_p95 is not None:
+        objectives.append(
+            QueueWaitObjective(
+                name="queue-wait-p95",
+                max_steps=args.slo_queue_wait_p95,
+                window_steps=args.slo_window,
+                error_budget_pct=args.slo_budget,
+            )
+        )
+    if args.slo_shed_rate is not None:
+        objectives.append(
+            ShedRateObjective(
+                name="shed-rate",
+                max_pct=args.slo_shed_rate,
+                window_steps=args.slo_window,
+                error_budget_pct=args.slo_budget,
+            )
+        )
+    if args.slo_violation_rate is not None:
+        objectives.append(
+            ViolationRateObjective(
+                name="qos-violation-rate",
+                max_pct=args.slo_violation_rate,
+                window_steps=args.slo_window,
+                error_budget_pct=args.slo_budget,
+            )
+        )
+    return tuple(objectives)
+
+
+#: Scenario-shaping cluster flags, i.e. the provenance ``config``
+#: fingerprint of a --summary-out artifact.  Deliberately excluded:
+#: output paths and verbosity (don't shape results), ``engine`` (the
+#: engines are seed-for-seed identical, so cross-engine comparison is a
+#: legitimate gate) and the ``--slo-*`` flags (observe-only by contract).
+_CLUSTER_CONFIG_KEYS = (
+    "servers",
+    "arrival_rate",
+    "duration",
+    "traffic",
+    "admission",
+    "dispatch",
+    "max_sessions_per_server",
+    "max_queue",
+    "hr_max_queue",
+    "lr_max_queue",
+    "patience",
+    "hr_patience",
+    "lr_patience",
+    "queue_while_warming",
+    "brownout",
+    "brownout_fps_relax",
+    "brownout_extra_sessions",
+    "hr_fraction",
+    "frames_per_video",
+    "playlist_videos",
+    "autoscale",
+    "min_servers",
+    "max_servers",
+    "warmup_steps",
+    "no_drain",
+    "fault_mtbf",
+    "fault_mttr",
+    "fault_straggler_mtbf",
+    "fault_straggler_duration",
+    "fault_warmup_failure",
+    "fault_retries",
+    "fault_backoff",
+    "power_cap",
+)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> None:
     admission = _cluster_admission(args)
     dispatcher = {
@@ -554,12 +735,14 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         brownout=brownout,
         faults=faults,
     )
+    slo_objectives = _cluster_slo(args)
     telemetry = None
-    if args.trace_out or args.metrics_out or args.profile:
+    if args.trace_out or args.metrics_out or args.profile or slo_objectives:
         telemetry = TelemetryConfig(
             trace_path=args.trace_out,
             metrics_path=args.metrics_out,
             profile=args.profile,
+            slo=slo_objectives,
         )
     summary = cluster.run(
         args.duration, drain=not args.no_drain, telemetry=telemetry
@@ -637,8 +820,48 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
             float_format="{:.1f}",
         )
     )
+    slo_report = cluster.telemetry.slo.report() if cluster.telemetry.slo else []
+    if slo_report:
+        print()
+        print("SLO report:")
+        print(
+            format_table(
+                ["objective", "target", "breach steps", "budget used (%)",
+                 "max burn", "worst", "verdict"],
+                [
+                    [
+                        row["name"],
+                        row["objective"],
+                        f"{row['breach_steps']}/{row['steps']}",
+                        row["budget_consumed_pct"],
+                        row["max_burn_rate"],
+                        row["worst_value"],
+                        "OK" if row["healthy"] else "BREACHED",
+                    ]
+                    for row in slo_report
+                ],
+                float_format="{:.2f}",
+            )
+        )
     if telemetry is not None:
         _print_telemetry(cluster.telemetry)
+    if args.summary_out:
+        artifact = {"summary": summary.to_dict()}
+        if slo_report:
+            artifact["slo"] = slo_report
+        seeds = {"seed": args.seed}
+        if faults is not None:
+            seeds["fault_seed"] = args.fault_seed
+        stamp_provenance(
+            artifact,
+            kind="cluster",
+            seed=seeds,
+            config={key: getattr(args, key) for key in _CLUSTER_CONFIG_KEYS},
+        )
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nSummary artifact -> {args.summary_out}")
 
 
 def _print_telemetry(telemetry) -> None:
@@ -676,6 +899,201 @@ def _print_telemetry(telemetry) -> None:
         )
 
 
+def _stats_row(label: str, stats) -> list:
+    return [label, stats.count, stats.mean, stats.p50, stats.p95, stats.p99, stats.max]
+
+
+def _load_artifact(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    analysis = analyze_trace(args.trace)
+    print(
+        f"Trace report: {args.trace} — {analysis.span_count} spans, "
+        f"{analysis.arrivals} requests, {analysis.steps + 1} steps"
+    )
+    counts = analysis.terminal_counts()
+    print()
+    print(
+        format_table(
+            ["outcome", "requests"],
+            [[kind, counts[kind]] for kind in
+             ("served", "rejected", "dropped", "abandoned", "failed")]
+            + [["retried (re-dispatches)", analysis.retried],
+               ["interrupted (crashes)", analysis.interrupted]],
+        )
+    )
+    print()
+    print("Latency breakdown (steps):")
+    print(
+        format_table(
+            ["population", "n", "mean", "p50", "p95", "p99", "max"],
+            [
+                _stats_row("queue wait", analysis.wait_stats()),
+                _stats_row("service (dispatch->done)", analysis.service_stats()),
+                _stats_row("end-to-end (arrival->done)", analysis.end_to_end_stats()),
+                _stats_row("retry overhead", analysis.retry_overhead_stats()),
+            ],
+            float_format="{:.2f}",
+        )
+    )
+    by_class = analysis.wait_stats_by_class()
+    if by_class:
+        print()
+        print("Queue wait by service class:")
+        print(
+            format_table(
+                ["class", "n", "mean", "p50", "p95", "p99", "max"],
+                [_stats_row(cls, stats) for cls, stats in by_class.items()],
+                float_format="{:.2f}",
+            )
+        )
+    by_server = analysis.wait_stats_by_server()
+    if by_server:
+        print()
+        print("Queue wait by first-dispatch server:")
+        print(
+            format_table(
+                ["server", "n", "mean", "p50", "p95", "p99", "max"],
+                [
+                    _stats_row(f"srv-{server}", stats)
+                    for server, stats in by_server.items()
+                ],
+                float_format="{:.2f}",
+            )
+        )
+    if analysis.fault_events:
+        print()
+        print("Fault timeline:")
+        print(
+            format_table(
+                ["step", "server", "fault"],
+                [
+                    [event.get("step"), event.get("request"), event.get("fault")]
+                    for event in analysis.fault_events
+                ],
+            )
+        )
+    if analysis.slo_breaches:
+        print()
+        print("SLO breaches (entries):")
+        print(
+            format_table(
+                ["step", "slo", "value", "threshold", "burn rate"],
+                [
+                    [
+                        span.get("step"),
+                        span.get("slo"),
+                        span.get("value"),
+                        span.get("threshold"),
+                        span.get("burn_rate"),
+                    ]
+                    for span in analysis.slo_breaches
+                ],
+                float_format="{:.2f}",
+            )
+        )
+    failures = list(analysis.errors)
+    if args.summary:
+        artifact = _load_artifact(args.summary)
+        summary = ClusterSummary.from_dict(artifact.get("summary", artifact))
+        mismatches = analysis.reconcile(summary)
+        print()
+        if mismatches:
+            print(f"Reconciliation against {args.summary}: MISMATCH")
+            for mismatch in mismatches:
+                print(f"  - {mismatch}")
+            failures.extend(mismatches)
+        else:
+            print(f"Reconciliation against {args.summary}: OK")
+    elif failures:
+        print()
+        print("Lifecycle errors:")
+        for error in failures:
+            print(f"  - {error}")
+    return 1 if failures else 0
+
+
+def _numeric_leaves(node, prefix: str = "") -> dict[str, object]:
+    """Flatten nested dicts/lists to dotted-path leaves (skips provenance)."""
+    leaves: dict[str, object] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if prefix == "" and key == "provenance":
+                continue
+            leaves.update(_numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            leaves.update(_numeric_leaves(value, f"{prefix}{index}."))
+    else:
+        leaves[prefix[:-1]] = node
+    return leaves
+
+
+def _leaf_regression(base, cand, rel_tol: float, abs_tol: float):
+    """None when within tolerance, else a short description of the drift."""
+    numeric = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    if numeric(base) and numeric(cand):
+        delta = abs(cand - base)
+        if delta <= abs_tol or delta <= rel_tol * abs(base):
+            return None
+        return f"{base!r} -> {cand!r}"
+    if base != cand:
+        return f"{base!r} -> {cand!r}"
+    return None
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    baseline = _load_artifact(args.baseline)
+    candidate = _load_artifact(args.candidate)
+    refusals, warnings = provenance_mismatches(baseline, candidate)
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if refusals:
+        for refusal in refusals:
+            print(f"not comparable: {refusal}")
+        if not args.force:
+            print("refusing to diff (pass --force to compare anyway)")
+            return 2
+        print("--force: diffing despite provenance mismatch")
+    base_leaves = _numeric_leaves(baseline)
+    cand_leaves = _numeric_leaves(candidate)
+    ignored = lambda path: any(
+        fnmatch.fnmatch(path, pattern) for pattern in args.ignore
+    )
+    regressions = []
+    for path in sorted(set(base_leaves) | set(cand_leaves)):
+        if ignored(path):
+            continue
+        if path not in base_leaves:
+            regressions.append([path, "only in candidate"])
+        elif path not in cand_leaves:
+            regressions.append([path, "only in baseline"])
+        else:
+            drift = _leaf_regression(
+                base_leaves[path], cand_leaves[path], args.rel_tol, args.abs_tol
+            )
+            if drift is not None:
+                regressions.append([path, drift])
+    compared = sum(1 for path in base_leaves if not ignored(path))
+    if regressions:
+        print(f"REGRESSION: {len(regressions)} of {compared} metrics drifted "
+              f"beyond tolerance (rel {args.rel_tol}, abs {args.abs_tol})")
+        print(format_table(["metric", "drift"], regressions))
+        return 1
+    print(f"OK: {compared} metrics within tolerance "
+          f"({args.baseline} vs {args.candidate})")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return {"report": _cmd_obs_report, "compare": _cmd_obs_compare}[
+        args.obs_command
+    ](args)
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "compare": _cmd_compare,
@@ -685,16 +1103,22 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "cluster": _cmd_cluster,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Command handlers may return an int exit code (the ``obs`` family does:
+    1 = regression/reconciliation failure, 2 = artifacts not comparable);
+    ``None`` means success.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
-    _COMMANDS[args.command](args)
-    return 0
+    code = _COMMANDS[args.command](args)
+    return int(code) if code else 0
 
 
 if __name__ == "__main__":

@@ -902,7 +902,14 @@ class ClusterOrchestrator:
                 self._autoscale(step, step_arrivals, len(queue), allow_grow=True)
             frames, violations = self._advance(step)
             self._record_fleet_sample(
-                step, step_arrivals, len(queue), frames, violations, step_dropped
+                step,
+                step_arrivals,
+                len(queue),
+                frames,
+                violations,
+                step_dropped,
+                rejected_total=rejected,
+                queue_waits=queue_waits,
             )
             if tracer.enabled:
                 self._trace_progress(step)
@@ -928,7 +935,16 @@ class ClusterOrchestrator:
                         steps, 0, 0, allow_grow=False, draining_tail=True
                     )
                 frames, violations = self._advance(steps)
-                self._record_fleet_sample(steps, 0, len(queue), frames, violations, 0)
+                self._record_fleet_sample(
+                    steps,
+                    0,
+                    len(queue),
+                    frames,
+                    violations,
+                    0,
+                    rejected_total=rejected,
+                    queue_waits=queue_waits,
+                )
                 if tracer.enabled:
                     self._trace_progress(steps)
                 steps += 1
@@ -1570,6 +1586,8 @@ class ClusterOrchestrator:
         frames: int,
         violations: int,
         dropped: int,
+        rejected_total: int = 0,
+        queue_waits: Sequence[int] = (),
     ) -> None:
         sample = FleetSample(
             step=step,
@@ -1613,4 +1631,16 @@ class ClusterOrchestrator:
             self._m_dropped.inc(dropped)
             self._m_frames.inc(frames)
             self._m_violations.inc(violations)
+        # SLO evaluation precedes the recorder snapshot so each step's row
+        # already reflects this step's repro_slo_* gauge values.
+        self.telemetry.observe_slo(
+            step,
+            queue_waits=queue_waits,
+            arrivals=arrivals,
+            rejected_total=rejected_total,
+            dropped=dropped,
+            failed_total=self._failed,
+            frames=frames,
+            violations=violations,
+        )
         self.telemetry.record_step(step)

@@ -13,10 +13,37 @@ __all__ = [
     "SessionSummary",
     "ExperimentSummary",
     "power_trace_stats",
+    "linear_percentile",
     "summarize_session",
     "summarize_experiment",
     "empty_experiment_summary",
 ]
+
+
+def linear_percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    The single percentile definition shared by the cluster summary, the
+    trace-analysis layer and the SLO engine: sorting plus the same
+    interpolation arithmetic everywhere means a percentile derived from a
+    span stream reconciles *exactly* (same floats) with one derived from
+    the ledger.  Matches ``numpy.percentile(..., method="linear")``.
+    Returns 0.0 for an empty sequence.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    if fraction == 0.0:
+        return ordered[lower]
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 def power_trace_stats(

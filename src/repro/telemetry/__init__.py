@@ -12,6 +12,18 @@ Four concerns, one hub:
 * :mod:`repro.telemetry.logsetup` — the ``repro`` logger hierarchy behind
   the ``--log-level`` flag.
 
+Built on top of the span stream:
+
+* :mod:`repro.telemetry.analysis` — post-hoc trace analytics: lifecycle
+  reconstruction, latency breakdowns and percentiles, fault timelines, and
+  reconciliation against the run's summary ledger.
+* :mod:`repro.telemetry.slo` — online SLO objectives with rolling windows,
+  error budgets and burn-rate gauges, evaluated each step through the same
+  observe-only hook path.
+* :mod:`repro.telemetry.provenance` — the ``provenance`` block stamped on
+  comparable run artifacts, so ``repro obs compare`` can refuse
+  apples-to-oranges diffs.
+
 Entry points: build a :class:`TelemetryConfig`, pass it to
 ``ClusterOrchestrator.run(telemetry=...)`` or ``Orchestrator.run(...)``,
 and read the hub back from ``cluster.telemetry``.  Everything is
@@ -19,6 +31,13 @@ observe-only and seed-neutral: enabling any combination of concerns must
 not change a seeded run's results (pinned by ``tests/test_telemetry.py``).
 """
 
+from repro.telemetry.analysis import (
+    LatencyStats,
+    RequestLifecycle,
+    TraceAnalysis,
+    analyze_trace,
+    load_spans,
+)
 from repro.telemetry.config import Telemetry, TelemetryConfig, resolve_telemetry
 from repro.telemetry.logsetup import LOG_LEVELS, configure_logging
 from repro.telemetry.metrics import (
@@ -30,7 +49,21 @@ from repro.telemetry.metrics import (
     TimeSeriesRecorder,
 )
 from repro.telemetry.profiler import NULL_PROFILER, StepProfiler
+from repro.telemetry.provenance import (
+    SCHEMA_VERSION,
+    provenance_mismatches,
+    provenance_of,
+    stamp_provenance,
+)
+from repro.telemetry.slo import (
+    QueueWaitObjective,
+    ShedRateObjective,
+    SloEngine,
+    SloObjective,
+    ViolationRateObjective,
+)
 from repro.telemetry.trace import (
+    MARKER_KINDS,
     NULL_TRACER,
     TERMINAL_KINDS,
     JsonlTraceSink,
@@ -59,4 +92,19 @@ __all__ = [
     "ListTraceSink",
     "NULL_TRACER",
     "TERMINAL_KINDS",
+    "MARKER_KINDS",
+    "LatencyStats",
+    "RequestLifecycle",
+    "TraceAnalysis",
+    "analyze_trace",
+    "load_spans",
+    "SloObjective",
+    "QueueWaitObjective",
+    "ShedRateObjective",
+    "ViolationRateObjective",
+    "SloEngine",
+    "SCHEMA_VERSION",
+    "stamp_provenance",
+    "provenance_of",
+    "provenance_mismatches",
 ]

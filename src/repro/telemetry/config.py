@@ -26,6 +26,7 @@ from repro.telemetry.metrics import (
     TimeSeriesRecorder,
 )
 from repro.telemetry.profiler import NULL_PROFILER, StepProfiler
+from repro.telemetry.slo import SloEngine, SloObjective
 from repro.telemetry.trace import (
     NULL_TRACER,
     JsonlTraceSink,
@@ -84,6 +85,10 @@ class TelemetryConfig:
         Capture per-step counter/gauge snapshots in a
         :class:`~repro.telemetry.metrics.TimeSeriesRecorder` (implied by
         ``metrics``/``metrics_path`` being unset leaves it off).
+    slo:
+        Declarative :class:`~repro.telemetry.slo.SloObjective` set to
+        evaluate online each step.  Any objective implies a live metrics
+        registry (the ``repro_slo_*`` gauges need somewhere to live).
     """
 
     trace_path: Optional[str] = None
@@ -92,6 +97,7 @@ class TelemetryConfig:
     trace_sink: Optional[TraceSink] = None
     metrics: bool = False
     record_series: bool = False
+    slo: tuple = ()
 
     @property
     def any_enabled(self) -> bool:
@@ -102,6 +108,7 @@ class TelemetryConfig:
             or self.trace_sink is not None
             or self.metrics
             or self.record_series
+            or self.slo
         )
 
     def build(self) -> "Telemetry":
@@ -124,7 +131,7 @@ class TelemetryConfig:
             tracer = RequestTracer(JsonlTraceSink(self.trace_path))
         else:
             tracer = NULL_TRACER
-        if self.metrics or self.metrics_path or self.record_series:
+        if self.metrics or self.metrics_path or self.record_series or self.slo:
             registry = MetricsRegistry()
             recorder = (
                 TimeSeriesRecorder(registry) if self.record_series else None
@@ -133,11 +140,21 @@ class TelemetryConfig:
             registry = NULL_REGISTRY
             recorder = None
         profiler = StepProfiler() if self.profile else NULL_PROFILER
+        slo_engine = None
+        if self.slo:
+            for objective in self.slo:
+                if not isinstance(objective, SloObjective):
+                    raise ConfigurationError(
+                        f"slo entries must be SloObjective instances, "
+                        f"got {type(objective).__name__}"
+                    )
+            slo_engine = SloEngine(list(self.slo), metrics=registry, tracer=tracer)
         return Telemetry(
             tracer=tracer,
             metrics=registry,
             profiler=profiler,
             recorder=recorder,
+            slo=slo_engine,
             config=self,
         )
 
@@ -161,12 +178,14 @@ class Telemetry:
         metrics=NULL_REGISTRY,
         profiler=NULL_PROFILER,
         recorder: Optional[TimeSeriesRecorder] = None,
+        slo: Optional[SloEngine] = None,
         config: Optional[TelemetryConfig] = None,
     ) -> None:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
         self.recorder = recorder
+        self.slo = slo
         self.config = config if config is not None else TelemetryConfig()
         self._finalized = False
 
@@ -184,12 +203,22 @@ class Telemetry:
             or self.metrics.enabled
             or self.profiler.enabled
             or self.recorder is not None
+            or self.slo is not None
         )
 
     def record_step(self, step: int) -> None:
         """Snapshot the registry for this step (no-op without a recorder)."""
         if self.recorder is not None:
             self.recorder.record(step)
+
+    def observe_slo(self, step: int, **observations) -> None:
+        """Feed the SLO engine one step's observations (no-op without one).
+
+        Call *before* :meth:`record_step` so the recorder's snapshot for
+        the step already includes the ``repro_slo_*`` gauge updates.
+        """
+        if self.slo is not None:
+            self.slo.observe_step(step, **observations)
 
     def finalize(self) -> None:
         """Flush exports: close the trace sink, write the metrics file."""
@@ -214,6 +243,8 @@ class Telemetry:
                 out["metrics_path"] = self.config.metrics_path
         if self.profiler.enabled:
             out["profile"] = self.profiler.report()
+        if self.slo is not None:
+            out["slo"] = self.slo.report()
         return out
 
 

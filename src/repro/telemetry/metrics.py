@@ -165,6 +165,35 @@ class Histogram:
     def sum(self) -> float:
         return self._sum
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the bucket the quantile rank falls
+        into, the way ``histogram_quantile`` does it: a bucket with upper
+        edge ``e`` and predecessor edge ``p`` is treated as the interval
+        ``(p, e]`` with its observations spread uniformly; the first bucket
+        interpolates from ``min(0, edge)`` so non-negative distributions
+        (every histogram the cluster keeps) never estimate below zero, and
+        a rank landing exactly on a bucket's cumulative count returns the
+        bucket's upper edge *exactly*.  Ranks in the ``+Inf`` overflow
+        bucket clamp to the last finite edge.  Returns ``nan`` for an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if self._count == 0:
+            return float("nan")
+        rank = q * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts[:-1]):
+            if cumulative + bucket_count >= rank and bucket_count > 0:
+                upper = self.edges[index]
+                lower = self.edges[index - 1] if index > 0 else min(0.0, upper)
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.edges[-1]
+
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative counts keyed by upper edge (``inf`` for the overflow)."""
         cumulative: dict[float, int] = {}
@@ -207,6 +236,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
 
     def samples(self) -> list[str]:
         return []

@@ -1,0 +1,108 @@
+"""Run-artifact provenance: who produced this JSON, from what inputs.
+
+Every comparable artifact the repo emits — ``BENCH_*.json`` payloads and
+the cluster CLI's ``--summary-out`` files — carries a ``provenance`` block
+stamped by :func:`stamp_provenance`::
+
+    {
+      "provenance": {
+        "schema_version": 1,
+        "kind": "faults",          # which producer wrote it
+        "seed": 0,                 # the seed(s) the run was driven by
+        "config": {...},           # the scenario knobs that shaped the run
+        "python": "3.12.1",        # environment, informational only
+        "machine": "x86_64"
+      },
+      ...payload...
+    }
+
+``repro obs compare`` refuses apples-to-oranges comparisons on the strict
+fields (``schema_version``, ``kind``, ``seed``, ``config``) and only warns
+on the informational ones (``python``, ``machine``) — two runs of the same
+seeded scenario on different interpreters are still the same experiment;
+two runs of different scenarios are not a regression signal at all.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "stamp_provenance",
+    "provenance_of",
+    "provenance_mismatches",
+]
+
+#: Bump when the *shape* of comparable artifacts changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Provenance fields that must match for two artifacts to be comparable.
+STRICT_FIELDS = ("schema_version", "kind", "seed", "config")
+
+#: Environment fields recorded for the record, compared only as a warning.
+INFO_FIELDS = ("python", "machine")
+
+
+def stamp_provenance(
+    payload: dict,
+    *,
+    kind: str,
+    seed,
+    config: Optional[Mapping] = None,
+) -> dict:
+    """Attach a ``provenance`` block to ``payload`` (in place) and return it.
+
+    ``seed`` may be a single int or a mapping of named seeds (workload /
+    cluster / fault streams); ``config`` is the scenario fingerprint — every
+    knob that shapes the run's results, and nothing that doesn't (output
+    paths, verbosity).  Engine choice deliberately does NOT belong in
+    ``config``: the scalar and batch engines are seed-for-seed identical,
+    so cross-engine comparisons are legitimate (and a useful gate).
+    """
+    payload["provenance"] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": str(kind),
+        "seed": seed,
+        "config": dict(config) if config is not None else {},
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    return payload
+
+
+def provenance_of(payload: Mapping) -> Optional[Mapping]:
+    """The payload's provenance block, or None for a pre-provenance artifact."""
+    block = payload.get("provenance")
+    return block if isinstance(block, Mapping) else None
+
+
+def provenance_mismatches(
+    a: Mapping, b: Mapping
+) -> tuple[list[str], list[str]]:
+    """Compare two payloads' provenance: ``(refusals, warnings)``.
+
+    ``refusals`` non-empty means the artifacts describe different
+    experiments (or one has no provenance at all) and a metric diff between
+    them is meaningless; ``warnings`` flag environment drift worth printing
+    but not worth refusing over.
+    """
+    prov_a, prov_b = provenance_of(a), provenance_of(b)
+    if prov_a is None or prov_b is None:
+        missing = [
+            label for label, prov in (("first", prov_a), ("second", prov_b))
+            if prov is None
+        ]
+        return [f"missing provenance block in {' and '.join(missing)} artifact"], []
+    refusals = [
+        f"provenance {field!r} differs: {prov_a.get(field)!r} != {prov_b.get(field)!r}"
+        for field in STRICT_FIELDS
+        if prov_a.get(field) != prov_b.get(field)
+    ]
+    warnings = [
+        f"environment {field!r} differs: {prov_a.get(field)!r} != {prov_b.get(field)!r}"
+        for field in INFO_FIELDS
+        if prov_a.get(field) != prov_b.get(field)
+    ]
+    return refusals, warnings

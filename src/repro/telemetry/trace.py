@@ -39,6 +39,11 @@ span through a pluggable sink.  Span kinds and their extra fields:
     ``server-<index>``, not a user id — excluded from the per-request
     lifecycle invariant): ``fault`` of ``crash``/``straggler``/
     ``warmup_failure`` plus fault-specific fields.
+``slo_breach``
+    SLO marker, keyed by objective (``request`` is ``slo-<name>``, not a
+    user id — excluded from the lifecycle invariant like ``fault``):
+    emitted when an objective *enters* breach, with ``slo``, ``value``,
+    ``threshold`` and ``burn_rate``.  See :mod:`repro.telemetry.slo`.
 
 All spans whose ``request`` is a user id obey the lifecycle invariant;
 trace spans of a crash-migrated session keep the request's ORIGINAL user
@@ -70,10 +75,16 @@ __all__ = [
     "ListTraceSink",
     "RequestTracer",
     "NULL_TRACER",
+    "TERMINAL_KINDS",
+    "MARKER_KINDS",
 ]
 
 #: Span kinds that end a request's lifecycle (exactly one per arrival).
 TERMINAL_KINDS = frozenset({"served", "rejected", "dropped", "abandoned", "failed"})
+
+#: Fleet-level marker kinds whose ``request`` is NOT a user id (``server-<i>``
+#: for faults, ``slo-<name>`` for SLO breaches) — excluded from lifecycles.
+MARKER_KINDS = frozenset({"fault", "slo_breach"})
 
 
 class TraceSink:
@@ -82,8 +93,17 @@ class TraceSink:
     def write(self, span: dict) -> None:
         raise NotImplementedError
 
+    def flush(self) -> None:  # pragma: no cover - default no-op
+        pass
+
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class JsonlTraceSink(TraceSink):
@@ -93,11 +113,21 @@ class JsonlTraceSink(TraceSink):
     leaves nothing behind, and key order is preserved as emitted (``kind``,
     ``step``, ``request`` first) so the JSONL diffs cleanly between seeded
     runs.
+
+    Spans are flushed to the OS every ``flush_every`` writes (and on
+    ``flush``/``close``), so a run that dies mid-stream leaves a readable,
+    line-complete JSONL prefix instead of whatever happened to fit the stdio
+    buffer — the analysis layer can post-mortem a crashed run.  The sink is
+    a context manager; leaving the ``with`` block closes the file.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, flush_every: int = 256) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.path = str(path)
+        self.flush_every = int(flush_every)
         self.count = 0
+        self._unflushed = 0
         self._handle = None
 
     def write(self, span: dict) -> None:
@@ -105,11 +135,21 @@ class JsonlTraceSink(TraceSink):
             self._handle = open(self.path, "w", encoding="utf-8")
         self._handle.write(json.dumps(span, separators=(",", ":")) + "\n")
         self.count += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered spans to the OS; only whole lines ever land."""
+        if self._handle is not None:
+            self._handle.flush()
+        self._unflushed = 0
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._unflushed = 0
 
 
 class ListTraceSink(TraceSink):

@@ -176,3 +176,102 @@ class TestCommands:
         assert "reactive autoscaling" in output
         assert "mean fleet size" in output
         assert "scale-up events" in output
+
+
+class TestObservabilityCommands:
+    """The obs family: cluster --summary-out/--slo-*, obs report, obs compare."""
+
+    BASE = [
+        "cluster", "--servers", "2", "--arrival-rate", "1.0",
+        "--duration", "30", "--traffic", "flash", "--patience", "8",
+        "--frames-per-video", "12", "--seed", "1",
+    ]
+
+    def run_scenario(self, tmp_path, name, extra=()):
+        summary_out = tmp_path / f"{name}.json"
+        trace_out = tmp_path / f"{name}.jsonl"
+        argv = self.BASE + list(extra) + [
+            "--summary-out", str(summary_out), "--trace-out", str(trace_out),
+        ]
+        assert main(argv) == 0
+        return summary_out, trace_out
+
+    def test_parser_registers_obs_commands(self):
+        args = build_parser().parse_args(["obs", "report", "t.jsonl"])
+        assert args.command == "obs" and args.obs_command == "report"
+        args = build_parser().parse_args(["obs", "compare", "a.json", "b.json"])
+        assert args.obs_command == "compare"
+
+    def test_cluster_slo_flags_print_report(self, capsys):
+        assert main(
+            self.BASE + ["--slo-queue-wait-p95", "2", "--slo-shed-rate", "5",
+                         "--slo-window", "8", "--slo-budget", "10"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "SLO report:" in output
+        assert "queue-wait-p95" in output and "shed-rate" in output
+        assert "BREACHED" in output or "OK" in output
+
+    def test_summary_artifact_has_provenance(self, tmp_path, capsys):
+        import json
+
+        summary_out, _ = self.run_scenario(tmp_path, "run")
+        artifact = json.loads(summary_out.read_text())
+        assert artifact["provenance"]["kind"] == "cluster"
+        assert artifact["provenance"]["seed"] == {"seed": 1}
+        assert artifact["provenance"]["config"]["servers"] == 2
+        assert artifact["summary"]["arrivals"] > 0
+
+    def test_obs_report_reconciles_and_exits_zero(self, tmp_path, capsys):
+        summary_out, trace_out = self.run_scenario(tmp_path, "run")
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace_out),
+                     "--summary", str(summary_out)]) == 0
+        output = capsys.readouterr().out
+        assert "Latency breakdown" in output
+        assert "Reconciliation" in output and "OK" in output
+
+    def test_obs_report_fails_on_mismatched_summary(self, tmp_path, capsys):
+        import json
+
+        summary_out, trace_out = self.run_scenario(tmp_path, "run")
+        artifact = json.loads(summary_out.read_text())
+        artifact["summary"]["rejected"] += 1
+        summary_out.write_text(json.dumps(artifact))
+        assert main(["obs", "report", str(trace_out),
+                     "--summary", str(summary_out)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_obs_compare_identical_runs_pass(self, tmp_path, capsys):
+        a, _ = self.run_scenario(tmp_path, "a")
+        b, _ = self.run_scenario(tmp_path, "b")
+        capsys.readouterr()
+        assert main(["obs", "compare", str(a), str(b)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_obs_compare_refuses_different_scenarios(self, tmp_path, capsys):
+        a, _ = self.run_scenario(tmp_path, "a")
+        degraded, _ = self.run_scenario(tmp_path, "deg", extra=["--servers", "1"])
+        capsys.readouterr()
+        assert main(["obs", "compare", str(a), str(degraded)]) == 2
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_obs_compare_forced_diff_flags_regression(self, tmp_path, capsys):
+        a, _ = self.run_scenario(tmp_path, "a")
+        degraded, _ = self.run_scenario(tmp_path, "deg", extra=["--servers", "1"])
+        capsys.readouterr()
+        assert main(["obs", "compare", str(a), str(degraded), "--force"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_obs_compare_tolerance_and_ignore(self, tmp_path, capsys):
+        import json
+
+        a, _ = self.run_scenario(tmp_path, "a")
+        b = tmp_path / "b.json"
+        artifact = json.loads(a.read_text())
+        artifact["summary"]["fleet_mean_power_w"] *= 1.005  # 0.5% drift
+        b.write_text(json.dumps(artifact))
+        assert main(["obs", "compare", str(a), str(b)]) == 1
+        assert main(["obs", "compare", str(a), str(b), "--rel-tol", "0.01"]) == 0
+        assert main(["obs", "compare", str(a), str(b),
+                     "--ignore", "summary.fleet_mean_power_w"]) == 0

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 from collections import Counter as TallyCounter
 
 import pytest
@@ -192,6 +193,31 @@ class TestTraceSinks:
         sink.close()
         assert not path.exists()
 
+    def test_jsonl_sink_flushes_periodically(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path), flush_every=3)
+        for step in range(3):
+            sink.write({"kind": "queued", "step": step, "request": "u"})
+        # The third write crossed flush_every: all three lines are on disk
+        # even though the sink is still open.
+        assert len(path.read_text().splitlines()) == 3
+        sink.write({"kind": "queued", "step": 3, "request": "u"})
+        sink.flush()  # explicit flush pushes the partial batch
+        assert len(path.read_text().splitlines()) == 4
+        sink.close()
+
+    def test_jsonl_sink_is_a_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(str(path)) as sink:
+            sink.write({"kind": "queued", "step": 0, "request": "u"})
+        # Leaving the block closed (and therefore flushed) the file.
+        assert sink._handle is None
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_jsonl_sink_rejects_bad_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "x.jsonl"), flush_every=0)
+
     def test_tracer_counts_emitted_spans(self):
         sink = ListTraceSink()
         tracer = RequestTracer(sink)
@@ -233,6 +259,35 @@ class TestMetrics:
             Histogram("h", edges=())
         with pytest.raises(ValueError):
             Histogram("h", edges=(1.0, 1.0))
+
+    def test_quantile_returns_exact_edge_on_cumulative_boundary(self):
+        # 4 observations <= 1, 4 more in (1, 2]: the 0.5 rank lands exactly
+        # on the first bucket's cumulative count, so the quantile is the
+        # bucket's upper edge EXACTLY — no interpolation drift.
+        hist = Histogram("h", edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.0, 1.0, 1.5, 1.5, 2.0, 2.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 2.0
+
+    def test_quantile_interpolates_within_a_bucket(self):
+        hist = Histogram("h", edges=(0.0, 4.0))
+        for value in (2.0, 2.0, 2.0, 2.0):
+            hist.observe(value)
+        # All mass in (0, 4]: the median interpolates to the bucket middle.
+        assert hist.quantile(0.5) == 2.0
+        # The first bucket anchors at min(0, edge), never below zero.
+        hist2 = Histogram("h2", edges=(4.0,))
+        hist2.observe(1.0)
+        assert 0.0 <= hist2.quantile(0.25) <= 4.0
+
+    def test_quantile_edge_cases(self):
+        hist = Histogram("h", edges=(1.0, 2.0))
+        assert math.isnan(hist.quantile(0.5))  # empty histogram
+        hist.observe(99.0)  # overflow bucket
+        assert hist.quantile(0.99) == 2.0  # clamps to the last finite edge
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
 
     def test_registry_rejects_kind_mismatch(self):
         registry = MetricsRegistry()
