@@ -16,6 +16,8 @@ Provides quick access to the main experiments without writing Python::
     repro-mamut cluster --slo-queue-wait-p95 4 --slo-shed-rate 5 --summary-out run.json
     repro-mamut obs report trace.jsonl --summary run.json
     repro-mamut obs compare baseline.json candidate.json --rel-tol 0.01
+    repro-mamut lint src tests
+    repro-mamut lint --list-rules
 
 (Equivalently: ``python -m repro.cli <command> ...``.)
 """
@@ -58,6 +60,7 @@ from repro.analysis.tables import (
 from repro.constants import DEFAULT_POWER_CAP_W
 from repro.core.config import MamutConfig
 from repro.core.mamut import MamutController
+from repro.lint import add_lint_arguments, lint_command
 from repro.manager.factories import heuristic_factory, mamut_factory, monoagent_factory
 from repro.manager.orchestrator import Orchestrator
 from repro.manager.runner import ExperimentRunner
@@ -424,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="diff anyway when provenance says the runs are not comparable",
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: RNG discipline, layering, scalar/batch "
+        "parity, telemetry purity",
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -1104,6 +1114,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "cluster": _cmd_cluster,
     "obs": _cmd_obs,
+    "lint": lint_command,
 }
 
 

@@ -1,0 +1,145 @@
+"""Shared infrastructure for ``repro lint`` rules.
+
+A :class:`LintModule` wraps one parsed source file: its AST, raw lines,
+derived dotted module name (for files inside the ``repro`` package) and an
+import-alias table that lets rules resolve a call like ``rng.normal()`` or
+``np.random.default_rng()`` back to the dotted path of what was imported.
+Rules subclass :class:`Rule` and return :class:`~repro.lint.findings.Finding`
+lists; they never mutate the module.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+
+__all__ = ["LintModule", "Rule", "dotted_call_target", "module_name_for_path"]
+
+
+def module_name_for_path(path: str) -> Optional[str]:
+    """Dotted module name for files inside a ``repro`` package tree.
+
+    Works from the path alone (no importing, no ``__init__`` probing): the
+    *last* path segment named ``repro`` is taken as the package root, so
+    both the real ``src/repro/...`` tree and scratch copies like
+    ``/tmp/x/repro/telemetry/bad.py`` resolve.  Files outside any ``repro``
+    directory (tests, benchmarks) get ``None`` and are skipped by the
+    module-scoped rules.
+    """
+    parts = path.replace("\\", "/").split("/")
+    indices = [i for i, part in enumerate(parts) if part == "repro"]
+    if not indices:
+        return None
+    tail = parts[indices[-1]:]
+    if not tail[-1].endswith(".py"):
+        return None
+    tail[-1] = tail[-1][: -len(".py")]
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)
+
+
+@dataclasses.dataclass
+class LintModule:
+    """One parsed source file, as seen by every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: Optional[str]  # dotted name, None outside the repro package
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        self._aliases: Optional[dict[str, str]] = None
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "LintModule":
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            module=module_name_for_path(path),
+        )
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> dotted import path, from this module's imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+        random as npr`` maps ``npr -> numpy.random``.  Function-scoped
+        imports are included too: for alias *resolution* a coarse union is
+        safe (shadowing across scopes would be its own smell).
+        """
+        if self._aliases is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for name in node.names:
+                        local = name.asname or name.name.split(".")[0]
+                        target = name.name if name.asname else name.name.split(".")[0]
+                        table[local] = target
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for name in node.names:
+                        if name.name == "*":
+                            continue
+                        table[name.asname or name.name] = f"{node.module}.{name.name}"
+            self._aliases = table
+        return self._aliases
+
+    def resolve_dotted(self, node: ast.expr) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted import path.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        module imported numpy as ``np``; ``None`` when the chain's root is
+        not an imported name (e.g. a local variable or ``self``).
+        """
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        return ".".join([root, *reversed(chain)])
+
+
+def dotted_call_target(module: LintModule, call: ast.Call) -> Optional[str]:
+    """Dotted import path of a call's callee, or ``None`` if unresolvable."""
+    return module.resolve_dotted(call.func)
+
+
+class Rule:
+    """Base class: one code, one invariant, one ``check`` pass per file."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: LintModule) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+    """Yield ``(parent, function)`` pairs for every def in the tree."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, child

@@ -1,0 +1,84 @@
+"""Findings and suppression comments for the ``repro lint`` pass.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+can be silenced in place with a suppression comment::
+
+    rng = np.random.default_rng()  # repro: allow[RNG102]
+
+either trailing on the flagged line or on a standalone comment line
+immediately above it.  Several codes may be listed
+(``# repro: allow[RNG102, LAY001]``); ``allow[*]`` silences every rule on
+that line and exists for generated code only — reviewed code should name
+the rule it is waiving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Sequence
+
+__all__ = ["Finding", "Suppressions", "parse_suppressions"]
+
+#: ``# repro: allow[CODE1, CODE2]`` — the one suppression syntax.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Suppressions:
+    """The ``# repro: allow[...]`` comments of one source file.
+
+    A suppression on line *L* covers findings reported on *L*; a standalone
+    comment line (nothing but the comment) additionally covers the next
+    line, so long statements can carry their waiver above them.
+    """
+
+    def __init__(self, covered: dict[int, frozenset[str]]) -> None:
+        self._covered = covered
+
+    def silences(self, finding: Finding) -> bool:
+        codes = self._covered.get(finding.line)
+        if codes is None:
+            return False
+        return finding.code in codes or "*" in codes
+
+    def __len__(self) -> int:  # diagnostic only
+        return len(self._covered)
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
+    """Scan raw source lines for suppression comments.
+
+    Regex over lines rather than ``tokenize`` keeps this robust to the
+    syntactically broken fixture files the lint tests feed in; the pattern
+    cannot occur inside a string literal without looking exactly like a
+    deliberate waiver, which is fine to honour.
+    """
+    covered: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+        covered.setdefault(lineno, set()).update(codes)
+        if text.lstrip().startswith("#"):  # standalone: covers the next line too
+            covered.setdefault(lineno + 1, set()).update(codes)
+    return Suppressions(
+        {line: frozenset(codes) for line, codes in covered.items()}
+    )

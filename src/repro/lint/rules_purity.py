@@ -1,0 +1,167 @@
+"""Telemetry purity rule: observe paths must not mutate what they observe.
+
+Telemetry's contract is observe-only — an instrumented run is bitwise
+identical to a bare one (property-tested at runtime, enforced here at
+parse time).  The attack surface is the hook path: everything reachable
+from ``Telemetry.observe_*`` / ``record_*`` and the trace sinks' ``emit``
+runs *inside* the stepping engines with live orchestrator state in hand.
+One attribute assignment to a passed-in object there and the "observer"
+is steering the simulation.
+
+* **TEL101** — inside the ``repro.telemetry`` layer, a function reachable
+  from an observe/record/emit entry point assigns to an attribute of one
+  of its parameters.  ``self``/``cls`` are exempt (telemetry owns its own
+  state), as are parameters whose annotation names a class defined in the
+  telemetry layer itself (mutating telemetry-owned carriers like
+  ``_ObjectiveState`` is the machinery working, not a purity breach).
+
+Reachability is a name-based over-approximation: from every entry point,
+any same-layer function or method with a called name is considered
+reachable.  That errs toward flagging — right for an invariant whose
+failure mode is silent nondeterminism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.base import LintModule, Rule, walk_functions
+from repro.lint.findings import Finding
+
+__all__ = ["TelemetryPurity"]
+
+_ENTRY_PREFIXES = ("observe", "record")
+_ENTRY_NAMES = frozenset({"emit"})
+
+
+def _is_entry_point(fn: ast.FunctionDef) -> bool:
+    return fn.name.startswith(_ENTRY_PREFIXES) or fn.name in _ENTRY_NAMES
+
+
+def _annotation_names(node: Optional[ast.expr]) -> set[str]:
+    """Bare class names mentioned anywhere in an annotation expression."""
+    if node is None:
+        return set()
+    names = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            # String annotation: take the dotted tail of each token.
+            for token in child.value.replace("[", " ").replace("]", " ").split():
+                names.add(token.strip('"\',').split(".")[-1])
+    return names
+
+
+def _local_classes(module: LintModule) -> set[str]:
+    return {
+        node.name
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _assignment_roots(node: ast.AST):
+    """Yield (stmt, root Name) for attribute/subscript assignment targets."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        base = target
+        is_dotted = False
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            is_dotted = is_dotted or isinstance(base, ast.Attribute)
+            base = base.value
+        if is_dotted and isinstance(base, ast.Name):
+            yield node, base
+
+
+def _own_statements(fn: ast.FunctionDef):
+    """Walk a function's body without descending into nested defs."""
+    stack = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class TelemetryPurity(Rule):
+    code = "TEL101"
+    name = "telemetry-purity"
+    description = (
+        "A function on the telemetry observe/record/emit path assigns to "
+        "an attribute of a passed-in object; telemetry is observe-only "
+        "and may only mutate its own state."
+    )
+
+    def check(self, module: LintModule) -> list[Finding]:
+        name = module.module or ""
+        if not (name == "repro.telemetry" or name.startswith("repro.telemetry.")):
+            return []
+
+        all_functions = [fn for _parent, fn in walk_functions(module.tree)]
+        by_name: dict[str, list[ast.FunctionDef]] = {}
+        for fn in all_functions:
+            by_name.setdefault(fn.name, []).append(fn)
+
+        # Name-based transitive closure from the entry points.
+        reachable: set[int] = set()
+        frontier = [fn for fn in all_functions if _is_entry_point(fn)]
+        while frontier:
+            fn = frontier.pop()
+            if id(fn) in reachable:
+                continue
+            reachable.add(id(fn))
+            called = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if isinstance(func, ast.Name):
+                        called.add(func.id)
+                    elif isinstance(func, ast.Attribute):
+                        called.add(func.attr)
+            for called_name in called:
+                for candidate in by_name.get(called_name, ()):
+                    if id(candidate) not in reachable:
+                        frontier.append(candidate)
+
+        telemetry_classes = _local_classes(module)
+        findings = []
+        for fn in all_functions:
+            if id(fn) not in reachable:
+                continue
+            exempt = {"self", "cls"}
+            args = fn.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if _annotation_names(arg.annotation) & telemetry_classes:
+                    exempt.add(arg.arg)
+            params = {
+                arg.arg
+                for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            }
+            if args.vararg is not None:
+                params.add(args.vararg.arg)
+            if args.kwarg is not None:
+                params.add(args.kwarg.arg)
+            # Only direct statements of this function: nested defs are
+            # themselves in `all_functions` and judged on their own params.
+            for stmt in _own_statements(fn):
+                for assign, root in _assignment_roots(stmt):
+                    if root.id in params and root.id not in exempt:
+                        findings.append(
+                            self.finding(
+                                module,
+                                assign,
+                                f"{fn.name}() is on the observe path but "
+                                f"assigns to an attribute of its parameter "
+                                f"'{root.id}'",
+                            )
+                        )
+        return findings

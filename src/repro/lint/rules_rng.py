@@ -1,0 +1,190 @@
+"""RNG discipline rules: every random draw must come from a seeded stream.
+
+The whole reproduction hangs on seed-for-seed determinism — scalar/batch
+bitwise parity, fault schedules on private streams, regression gates that
+diff two seeded runs to exact equality.  One call into the process-global
+RNG (whose state depends on import order and on every other caller) or one
+seedless generator breaks all of it silently, in whatever run happens to
+execute first.  These rules make that class of bug a parse-time error:
+
+* **RNG101** — call into the process-global RNG (``np.random.normal()``,
+  ``random.shuffle()``, ...) anywhere in the tree, module level or not.
+* **RNG102** — RNG construction without a seed: ``default_rng()``,
+  ``default_rng(None)``, ``random.Random()``, ``np.random.RandomState()``.
+* **RNG103** — wall-clock or OS entropy in simulation code (``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``).  The
+  ``repro.telemetry`` layer is exempt: it measures real wall time by
+  design and is observe-only by contract (see rules_purity).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import LintModule, Rule, dotted_call_target
+from repro.lint.findings import Finding
+
+__all__ = ["GlobalRngCall", "SeedlessRng", "WallClockEntropy"]
+
+#: numpy.random attributes that construct *seedable* objects rather than
+#: drawing from the global stream; everything else under numpy.random is
+#: the legacy convenience API.
+_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: stdlib ``random`` attributes that are fine to *call* (seedable class
+#: constructors).  ``SystemRandom`` is deliberately absent — it is OS
+#: entropy and lands under RNG103.
+_STDLIB_CONSTRUCTORS = frozenset({"Random"})
+
+#: Constructors whose zero-argument / ``None``-argument form is seedless.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+#: Wall-clock / OS-entropy callables banned from simulation code.
+_ENTROPY_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+
+def _iter_calls(module: LintModule):
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            target = dotted_call_target(module, node)
+            if target is not None:
+                yield node, target
+
+
+class GlobalRngCall(Rule):
+    code = "RNG101"
+    name = "global-rng-call"
+    description = (
+        "Call into the process-global RNG (numpy.random.* convenience API "
+        "or stdlib random.* module functions); draw from a seeded "
+        "Generator passed in by the caller instead."
+    )
+
+    def check(self, module: LintModule) -> list[Finding]:
+        findings = []
+        for node, target in _iter_calls(module):
+            root, _, attr = target.rpartition(".")
+            if root == "numpy.random" and attr not in _NUMPY_CONSTRUCTORS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"np.random.{attr}() draws from the process-global "
+                        "RNG; use a seeded np.random.Generator",
+                    )
+                )
+            elif root == "random" and attr not in _STDLIB_CONSTRUCTORS:
+                if target in _ENTROPY_CALLS:
+                    continue  # SystemRandom et al. are RNG103's finding
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"random.{attr}() uses the module-global stream; "
+                        "use a seeded random.Random or numpy Generator",
+                    )
+                )
+        return findings
+
+
+def _is_seedless(call: ast.Call) -> bool:
+    """True for zero arguments or an explicit literal ``None`` seed."""
+    if any(keyword.arg == "seed" for keyword in call.keywords):
+        seed = next(k.value for k in call.keywords if k.arg == "seed")
+        return isinstance(seed, ast.Constant) and seed.value is None
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+class SeedlessRng(Rule):
+    code = "RNG102"
+    name = "seedless-rng"
+    description = (
+        "RNG constructed without a seed (default_rng(), random.Random(), "
+        "RandomState()); thread the run's seed, or a child of its "
+        "SeedSequence, into every stream."
+    )
+
+    def check(self, module: LintModule) -> list[Finding]:
+        findings = []
+        for node, target in _iter_calls(module):
+            if target in _SEEDED_CONSTRUCTORS and _is_seedless(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{target.rpartition('.')[2]}() without a seed is "
+                        "entropy-seeded and unreproducible",
+                    )
+                )
+        return findings
+
+
+class WallClockEntropy(Rule):
+    code = "RNG103"
+    name = "wall-clock-entropy"
+    description = (
+        "Wall-clock or OS entropy (time.time, datetime.now, os.urandom, "
+        "uuid.uuid4, secrets) in simulation code; simulated time is the "
+        "step counter, identity comes from the workload. The "
+        "repro.telemetry layer is exempt (it measures real time by design)."
+    )
+
+    #: Layers whose business *is* real time / host identity.
+    _EXEMPT_PREFIXES = ("repro.telemetry",)
+
+    def check(self, module: LintModule) -> list[Finding]:
+        name = module.module
+        if name is None or not (name == "repro" or name.startswith("repro.")):
+            return []
+        if any(
+            name == prefix or name.startswith(prefix + ".")
+            for prefix in self._EXEMPT_PREFIXES
+        ):
+            return []
+        findings = []
+        for node, target in _iter_calls(module):
+            if target in _ENTROPY_CALLS or target.startswith("secrets."):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{target}() injects wall-clock/OS entropy into "
+                        "simulation code",
+                    )
+                )
+        return findings

@@ -1,0 +1,33 @@
+"""Shared helpers for the lint test suite.
+
+``lint_snippet`` writes a source snippet to a path shaped like a repro
+package file (so the module-scoped rules see a dotted module name) and
+returns the surviving findings; the tests assert on rule codes.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_paths
+
+__all__ = ["codes_of", "lint_snippet"]
+
+
+def lint_snippet(tmp_path, relative_path: str, source: str):
+    """Lint one snippet placed at ``tmp_path/<relative_path>``.
+
+    ``relative_path`` controls the derived module name: pass
+    ``repro/hevc/mod.py`` to lint as ``repro.hevc.mod``, or a bare
+    ``mod.py`` for a module outside the repro package.
+    """
+    target = tmp_path / relative_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    findings, errors = lint_paths([str(target)])
+    assert not errors, errors
+    return findings
+
+
+def codes_of(findings) -> list[str]:
+    return [finding.code for finding in findings]

@@ -1,0 +1,135 @@
+"""Telemetry purity rule: TEL101 (observe paths must not mutate
+passed-in objects)."""
+
+from __future__ import annotations
+
+from lint_fixtures import codes_of, lint_snippet
+
+
+class TestTelemetryPurity:
+    def test_entry_point_mutating_parameter_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            class Hook:
+                def observe_sample(self, sample):
+                    sample.dirty = True
+            """,
+        )
+        assert codes_of(findings) == ["TEL101"]
+
+    def test_reachable_helper_flagged(self, tmp_path):
+        # The mutation hides one call down from the entry point.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            def _stamp(event):
+                event.seen = True
+
+            class Sink:
+                def emit(self, event):
+                    _stamp(event)
+            """,
+        )
+        assert codes_of(findings) == ["TEL101"]
+
+    def test_augmented_and_nested_attribute_assignments_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            def record_step(server):
+                server.stats.count += 1
+            """,
+        )
+        assert codes_of(findings) == ["TEL101"]
+
+    def test_self_mutation_passes(self, tmp_path):
+        # Telemetry owns its own state: counters, ring buffers, spans.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            class Hub:
+                def observe_sample(self, sample):
+                    self.samples += 1
+                    self.last = sample.value
+            """,
+        )
+        assert findings == []
+
+    def test_unreachable_mutator_passes(self, tmp_path):
+        # Not called from any observe/record/emit path; other rules may
+        # care, TEL101 does not.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            def reset(state):
+                state.cursor = 0
+
+            class Hub:
+                def observe_sample(self, sample):
+                    self.count = self.count + 1
+            """,
+        )
+        assert findings == []
+
+    def test_telemetry_annotated_parameter_exempt(self, tmp_path):
+        # Mutating a telemetry-owned carrier class is the machinery
+        # working, not a purity breach.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            class SpanState:
+                open = 0
+
+            def record_open(state: SpanState):
+                state.open += 1
+            """,
+        )
+        assert findings == []
+
+    def test_nested_function_judged_on_its_own_params(self, tmp_path):
+        # The closure's `event` is the closure's parameter, not the
+        # entry point's; it must be flagged exactly once.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            class Sink:
+                def emit(self, event):
+                    def tag(event):
+                        event.tagged = True
+                    tag(event)
+            """,
+        )
+        assert codes_of(findings) == ["TEL101"]
+
+    def test_rule_is_scoped_to_telemetry_layer(self, tmp_path):
+        # Engines mutate state by design; TEL101 only polices telemetry.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            class Stepper:
+                def observe_sample(self, sample):
+                    sample.dirty = True
+            """,
+        )
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            class Hook:
+                def observe_sample(self, sample):
+                    sample.dirty = True  # repro: allow[TEL101]
+            """,
+        )
+        assert findings == []

@@ -1,0 +1,231 @@
+"""RNG discipline rules: RNG101 (global RNG), RNG102 (seedless), RNG103
+(wall-clock/OS entropy in simulation code)."""
+
+from __future__ import annotations
+
+from lint_fixtures import codes_of, lint_snippet
+
+
+class TestGlobalRngCall:
+    def test_numpy_global_api_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.normal(0.0, 1.0)
+            """,
+        )
+        assert codes_of(findings) == ["RNG101"]
+
+    def test_module_level_call_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            NOISE = np.random.rand(4)
+            """,
+        )
+        assert codes_of(findings) == ["RNG101"]
+
+    def test_stdlib_random_module_functions_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+        )
+        assert codes_of(findings) == ["RNG101"]
+
+    def test_from_import_alias_resolved(self, tmp_path):
+        # The alias table must see through `from numpy import random as r`.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            from numpy import random as r
+
+            def jitter():
+                return r.standard_normal()
+            """,
+        )
+        assert codes_of(findings) == ["RNG101"]
+
+    def test_seeded_generator_draw_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            def jitter(rng: np.random.Generator):
+                return rng.normal(0.0, 1.0)
+            """,
+        )
+        assert findings == []
+
+    def test_suppression_on_line(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            NOISE = np.random.rand(4)  # repro: allow[RNG101]
+            """,
+        )
+        assert findings == []
+
+
+class TestSeedlessRng:
+    def test_zero_arg_default_rng_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            def stream():
+                return np.random.default_rng()
+            """,
+        )
+        assert codes_of(findings) == ["RNG102"]
+
+    def test_explicit_none_seed_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            def stream():
+                return np.random.default_rng(seed=None)
+            """,
+        )
+        assert codes_of(findings) == ["RNG102"]
+
+    def test_stdlib_random_class_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import random
+
+            def stream():
+                return random.Random()
+            """,
+        )
+        assert codes_of(findings) == ["RNG102"]
+
+    def test_seeded_constructions_pass(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import random
+
+            import numpy as np
+
+            def streams(seed, maybe_rng):
+                return (
+                    np.random.default_rng(seed),
+                    np.random.default_rng(maybe_rng),
+                    random.Random(seed),
+                )
+            """,
+        )
+        assert findings == []
+
+    def test_standalone_suppression_covers_next_line(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import numpy as np
+
+            def stream():
+                # repro: allow[RNG102]
+                return np.random.default_rng()
+            """,
+        )
+        assert findings == []
+
+
+class TestWallClockEntropy:
+    def test_time_time_flagged_in_simulation_code(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+        )
+        assert codes_of(findings) == ["RNG103"]
+
+    def test_datetime_and_urandom_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/mod.py",
+            """
+            import os
+            from datetime import datetime
+
+            def entropy():
+                return datetime.now(), os.urandom(8)
+            """,
+        )
+        assert codes_of(findings) == ["RNG103", "RNG103"]
+
+    def test_telemetry_layer_is_exempt(self, tmp_path):
+        # The profiler measures real wall time by design.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/telemetry/mod.py",
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+        )
+        assert findings == []
+
+    def test_non_repro_files_are_exempt(self, tmp_path):
+        # `repro lint tests` must not flag wall-clock use outside the package.
+        findings = lint_snippet(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+        )
+        assert findings == []
+
+    def test_perf_counter_is_not_banned(self, tmp_path):
+        # Profiling-grade timers are fine; determinism bans *identity* and
+        # *entropy* sources, not duration measurement.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/cluster/mod.py",
+            """
+            import time
+
+            def elapsed(start):
+                return time.perf_counter() - start
+            """,
+        )
+        assert findings == []
