@@ -18,6 +18,23 @@ asserted here per MTBF): at the same fault schedule the recovery
 configuration *serves* strictly more sessions — ``served = admitted -
 failed`` — than naive shedding, and the gap widens as MTBF shrinks.
 
+Two further sweeps exercise the failure-domain machinery:
+
+* **domain sweep** — a 6-server fleet spread over 3 zones loses ``k``
+  whole zones simultaneously to a declarative :class:`KillSchedule`
+  (``k`` = 1..3); shed and recover run the identical zonal schedule with
+  :class:`FailureAware` dispatch.  The acceptance claim: bounded retries
+  absorb a full single-zone outage (zero failed users) that naive
+  shedding turns into failures, quantifying how many simultaneous domain
+  outages the retry budget can absorb.
+* **checkpoint sweep** — the same single-zone kill at several
+  ``checkpoint_interval_frames`` settings.  Without checkpoints a retry
+  recomputes every frame since the start of the interrupted video; with
+  them it resumes from the last checkpoint, so total recomputed frames
+  are bounded by ``retries * (interval - 1)`` while the modeled
+  checkpoint bandwidth cost (extra watts on every write) rises as the
+  interval shrinks — the recomputation/bandwidth trade-off in one table.
+
 Results are written to ``BENCH_faults.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/bench_faults.py          # full
@@ -35,7 +52,11 @@ from pathlib import Path
 from repro.cluster import (
     CapacityThreshold,
     ClusterOrchestrator,
+    FailureAware,
+    FailureTopology,
     FaultConfig,
+    KillEntry,
+    KillSchedule,
     PoissonTraffic,
     WorkloadGenerator,
 )
@@ -52,11 +73,20 @@ FAULT_SEED = 7
 MTTR_STEPS = 5.0
 RETRY_BUDGET = 3
 
+# Domain sweep: a larger fleet spread across failure zones.
+DOMAIN_SERVERS = 6
+ZONES = 3
+RACKS_PER_ZONE = 2
+KILL_STEP = 10
+KILL_DURATION = 6
+
 
 def _scenario(smoke: bool) -> dict:
     if smoke:
         return {
             "mtbf_sweep": [25.0],
+            "kill_zone_sweep": [1],
+            "checkpoint_sweep": [None, 2],
             "rate": 0.6,
             "duration": 40,
             "frames_per_video": 8,
@@ -66,6 +96,8 @@ def _scenario(smoke: bool) -> dict:
         }
     return {
         "mtbf_sweep": [20.0, 40.0, 80.0],
+        "kill_zone_sweep": [1, 2, 3],
+        "checkpoint_sweep": [None, 8, 4, 2],
         "rate": 0.6,
         "duration": 120,
         "frames_per_video": 10,
@@ -103,6 +135,55 @@ def _run_config(scenario: dict, *, mtbf: float, max_retries: int) -> dict:
     result = cluster.run(scenario["duration"])
     out = result.summary().to_dict()
     # Derived metric the summary does not carry; from_dict ignores it.
+    out["served"] = out["admitted"] - out["failed"]
+    return out
+
+
+def _run_domain_config(
+    scenario: dict,
+    *,
+    kill_zones: int,
+    max_retries: int,
+    checkpoint_interval: int | None = None,
+) -> dict:
+    """One zonal chaos run: kill ``kill_zones`` whole zones at KILL_STEP."""
+    workload = WorkloadGenerator(
+        PoissonTraffic(scenario["rate"]),
+        seed=SEED,
+        playlist_videos=scenario["playlist_videos"],
+        frames_per_video=scenario["frames_per_video"],
+        patience_steps=scenario["patience"],
+    )
+    schedule = KillSchedule(
+        tuple(
+            KillEntry(zone=zone, step=KILL_STEP, duration=KILL_DURATION)
+            for zone in range(kill_zones)
+        )
+    )
+    cluster = ClusterOrchestrator(
+        DOMAIN_SERVERS,
+        workload,
+        admission=CapacityThreshold(
+            max_sessions_per_server=SESSIONS_PER_SERVER,
+            max_queue=scenario["max_queue"],
+        ),
+        dispatcher=FailureAware(),
+        controller_factory=static_factory(qp=32, threads=4, frequency_ghz=3.2),
+        seed=SEED,
+        faults=FaultConfig(
+            crash_mttr_steps=MTTR_STEPS,
+            max_retries=max_retries,
+            retry_backoff_steps=1,
+            seed=FAULT_SEED,
+            topology=FailureTopology(
+                zones=ZONES, racks_per_zone=RACKS_PER_ZONE, seed=FAULT_SEED
+            ),
+            kill_schedule=schedule,
+            checkpoint_interval_frames=checkpoint_interval,
+        ),
+    )
+    result = cluster.run(scenario["duration"])
+    out = result.summary().to_dict()
     out["served"] = out["admitted"] - out["failed"]
     return out
 
@@ -147,11 +228,90 @@ def run_benchmark(smoke: bool) -> dict:
         )
     )
 
+    domain_sweep = []
+    for kill_zones in scenario["kill_zone_sweep"]:
+        shed = _run_domain_config(scenario, kill_zones=kill_zones, max_retries=0)
+        recover = _run_domain_config(
+            scenario, kill_zones=kill_zones, max_retries=RETRY_BUDGET
+        )
+        # Same declarative schedule -> the same zones go down in both runs.
+        assert shed["failed_domains"] == recover["failed_domains"]
+        domain_sweep.append(
+            {"kill_zones": kill_zones, "shed": shed, "recover": recover}
+        )
+
+    _LOG.info("=== domain sweep: simultaneous zone outages absorbed ===")
+    _LOG.info(
+        format_table(
+            [
+                "zones killed",
+                "crashes",
+                "shed: served",
+                "shed: failed",
+                "rec: served",
+                "rec: failed",
+                "rec: retried",
+                "domains (mean)",
+            ],
+            [
+                [
+                    point["kill_zones"],
+                    point["shed"]["server_crashes"],
+                    point["shed"]["served"],
+                    point["shed"]["failed"],
+                    point["recover"]["served"],
+                    point["recover"]["failed"],
+                    point["recover"]["retried"],
+                    point["recover"]["mean_available_domains"],
+                ]
+                for point in domain_sweep
+            ],
+            float_format="{:.2f}",
+        )
+    )
+
+    checkpoint_sweep = []
+    for interval in scenario["checkpoint_sweep"]:
+        run = _run_domain_config(
+            scenario,
+            kill_zones=1,
+            max_retries=RETRY_BUDGET,
+            checkpoint_interval=interval,
+        )
+        checkpoint_sweep.append({"interval": interval, "run": run})
+
+    _LOG.info("=== checkpoint sweep: recomputation vs. bandwidth ===")
+    _LOG.info(
+        format_table(
+            [
+                "interval",
+                "retried",
+                "recomputed frames",
+                "ckpt writes",
+                "ckpt energy (J)",
+                "served",
+            ],
+            [
+                [
+                    "none" if point["interval"] is None else point["interval"],
+                    point["run"]["retried"],
+                    point["run"]["recomputed_frames"],
+                    point["run"]["checkpoint_writes"],
+                    point["run"]["checkpoint_energy_j"],
+                    point["run"]["served"],
+                ]
+                for point in checkpoint_sweep
+            ],
+            float_format="{:.2f}",
+        )
+    )
+
     scenario_dict = {
         key: scenario[key]
         for key in (
             "rate", "duration", "frames_per_video",
             "playlist_videos", "patience", "max_queue",
+            "kill_zone_sweep", "checkpoint_sweep",
         )
     }
     return stamp_provenance(
@@ -166,8 +326,14 @@ def run_benchmark(smoke: bool) -> dict:
             "smoke": smoke,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "zones": ZONES,
+            "racks_per_zone": RACKS_PER_ZONE,
+            "kill_step": KILL_STEP,
+            "kill_duration": KILL_DURATION,
             "scenario": scenario_dict,
             "sweep": sweep,
+            "domain_sweep": domain_sweep,
+            "checkpoint_sweep": checkpoint_sweep,
         },
         kind="faults",
         seed={"seed": SEED, "fault_seed": FAULT_SEED},
@@ -218,6 +384,36 @@ def main() -> None:
         assert recover["served"] > shed["served"], point
         assert recover["failed"] < shed["failed"], point
         assert recover["retried"] > 0, point
+
+    # Domain acceptance: bounded retries absorb a full single-zone outage
+    # (no user sees a failure) that naive shedding cannot, and at every
+    # outage width recovery serves at least as many sessions as shedding.
+    for point in payload["domain_sweep"]:
+        shed, recover = point["shed"], point["recover"]
+        assert shed["failed_domains"] >= point["kill_zones"], point
+        assert recover["served"] >= shed["served"], point
+        if point["kill_zones"] == 1:
+            assert shed["failed"] > 0, point
+            assert recover["failed"] == 0, point
+            assert recover["served"] > shed["served"], point
+
+    # Checkpoint acceptance: recomputation is bounded by the interval
+    # (each retry resumes from the last multiple of it) and the modeled
+    # write cost is only metered when checkpoints are on.
+    for point in payload["checkpoint_sweep"]:
+        run, interval = point["run"], point["interval"]
+        assert run["retried"] > 0, point
+        if interval is None:
+            assert run["checkpoint_writes"] == 0, point
+        else:
+            assert run["recomputed_frames"] <= run["retried"] * (interval - 1), point
+            assert run["checkpoint_writes"] > 0, point
+            assert run["checkpoint_energy_j"] > 0, point
+    no_ckpt = payload["checkpoint_sweep"][0]["run"]
+    tightest = payload["checkpoint_sweep"][-1]["run"]
+    assert tightest["recomputed_frames"] < no_ckpt["recomputed_frames"], (
+        tightest["recomputed_frames"], no_ckpt["recomputed_frames"],
+    )
     _LOG.info("fault-recovery acceptance claims hold")
 
 

@@ -38,8 +38,11 @@ from repro.cluster import (
     ClassAwareAdmission,
     ClusterOrchestrator,
     DiurnalTraffic,
+    FailureAware,
+    FailureTopology,
     FaultConfig,
     FlashCrowdTraffic,
+    KillSchedule,
     LeastLoaded,
     PoissonTraffic,
     PowerAware,
@@ -159,9 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--dispatch",
-        choices=("round-robin", "least-loaded", "power-aware"),
+        choices=("round-robin", "least-loaded", "power-aware", "failure-aware"),
         default="least-loaded",
-        help="load-balancing policy",
+        help="load-balancing policy (failure-aware: crash-history-weighted)",
     )
     cluster.add_argument(
         "--max-sessions-per-server",
@@ -307,6 +310,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed of the fault injector's private random stream",
+    )
+    cluster.add_argument(
+        "--fault-zones",
+        type=int,
+        default=1,
+        metavar="N",
+        help="failure zones the fleet is spread across",
+    )
+    cluster.add_argument(
+        "--fault-racks-per-zone",
+        type=int,
+        default=1,
+        metavar="N",
+        help="racks inside each failure zone",
+    )
+    cluster.add_argument(
+        "--fault-zone-mtbf",
+        type=float,
+        default=None,
+        metavar="STEPS",
+        help="inject correlated zone outages: per-zone mean time between failures",
+    )
+    cluster.add_argument(
+        "--fault-zone-mttr",
+        type=float,
+        default=15.0,
+        metavar="STEPS",
+        help="mean downtime of the servers a zone outage takes down",
+    )
+    cluster.add_argument(
+        "--kill-zone",
+        action="append",
+        default=None,
+        metavar="Z:STEP:DUR",
+        help="declaratively kill zone Z at STEP for DUR steps (repeatable)",
+    )
+    cluster.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="FRAMES",
+        help="checkpoint session state every N frames so retries resume "
+        "instead of recomputing the whole video",
     )
     # Accepted after the subcommand as well (SUPPRESS keeps the pre-command
     # values when the trailing flags are absent).
@@ -667,6 +713,12 @@ _CLUSTER_CONFIG_KEYS = (
     "fault_warmup_failure",
     "fault_retries",
     "fault_backoff",
+    "fault_zones",
+    "fault_racks_per_zone",
+    "fault_zone_mtbf",
+    "fault_zone_mttr",
+    "kill_zone",
+    "checkpoint_interval",
     "power_cap",
 )
 
@@ -677,6 +729,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         "round-robin": RoundRobin,
         "least-loaded": LeastLoaded,
         "power-aware": PowerAware,
+        "failure-aware": FailureAware,
     }[args.dispatch]()
     patience_by_class = {}
     if args.hr_patience is not None:
@@ -719,6 +772,9 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         args.fault_mtbf is not None
         or args.fault_straggler_mtbf is not None
         or args.fault_warmup_failure > 0
+        or args.fault_zone_mtbf is not None
+        or args.kill_zone
+        or args.checkpoint_interval is not None
     ):
         faults = FaultConfig(
             crash_mtbf_steps=args.fault_mtbf,
@@ -729,6 +785,15 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
             max_retries=args.fault_retries,
             retry_backoff_steps=args.fault_backoff,
             seed=args.fault_seed,
+            topology=FailureTopology(
+                zones=args.fault_zones,
+                racks_per_zone=args.fault_racks_per_zone,
+                seed=args.fault_seed,
+            ),
+            zone_mtbf_steps=args.fault_zone_mtbf,
+            zone_mttr_steps=args.fault_zone_mttr,
+            kill_schedule=KillSchedule.parse(args.kill_zone) if args.kill_zone else None,
+            checkpoint_interval_frames=args.checkpoint_interval,
         )
     cluster = ClusterOrchestrator(
         args.servers,
@@ -798,6 +863,11 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
             ["sessions retried", summary.retried],
             ["requests failed", summary.failed],
             ["mean healthy servers", summary.mean_healthy_servers],
+            ["zone outages", summary.failed_domains],
+            ["mean available domains", summary.mean_available_domains],
+            ["recomputed frames", summary.recomputed_frames],
+            ["checkpoint writes", summary.checkpoint_writes],
+            ["checkpoint energy (J)", summary.checkpoint_energy_j],
         ]
     if autoscaler is not None:
         rows += [

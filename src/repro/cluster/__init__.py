@@ -24,8 +24,15 @@ fleet-wide under sustained pressure instead of turning users away.
 Robustness is exercised by the seeded
 :class:`~repro.cluster.faults.FaultInjector`: server crashes with session
 salvage and Q-table migration, transient stragglers, warm-up failures,
-bounded retries with exponential backoff — identical fault schedules and
-identical results on both stepping engines.
+bounded retries with exponential backoff — plus correlated failure
+domains: a seeded :class:`~repro.cluster.faults.FailureTopology` assigns
+every slot a ``(zone, rack)`` domain, zone outages (MTBF-drawn or declared
+by a :class:`~repro.cluster.faults.KillSchedule`) take a whole domain down
+at once, periodic frame-level checkpoints bound a retry's recomputation to
+the checkpoint interval, and the crash-history-weighted
+:class:`~repro.cluster.dispatch.FailureAware` policy routes work toward
+reliable machines and retries away from the zone that lost them —
+identical fault schedules and identical results on both stepping engines.
 """
 
 from repro.cluster.admission import (
@@ -49,8 +56,20 @@ from repro.cluster.autoscale import (
 )
 from repro.cluster.batch import BatchStepper
 from repro.cluster.cluster import ClusterOrchestrator, ClusterResult
-from repro.cluster.dispatch import DispatchPolicy, LeastLoaded, PowerAware, RoundRobin
-from repro.cluster.faults import FaultConfig, FaultInjector
+from repro.cluster.dispatch import (
+    DispatchPolicy,
+    FailureAware,
+    LeastLoaded,
+    PowerAware,
+    RoundRobin,
+)
+from repro.cluster.faults import (
+    FailureTopology,
+    FaultConfig,
+    FaultInjector,
+    KillEntry,
+    KillSchedule,
+)
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import (
     CompositeTraffic,
@@ -94,7 +113,11 @@ __all__ = [
     "RoundRobin",
     "LeastLoaded",
     "PowerAware",
+    "FailureAware",
     # faults
+    "FailureTopology",
+    "KillEntry",
+    "KillSchedule",
     "FaultConfig",
     "FaultInjector",
     # state

@@ -43,9 +43,13 @@ engine's accumulation order.  Fault injection preserves the guarantee:
 fault draws, session salvage and retries all happen in orchestrator code
 outside the stepper, and a crash or recovery changes the live roster
 exactly like an autoscaling resize — the stepper is flushed
-(``flush_window_state``) and rebuilt over the surviving fleet.  The
-equivalence is enforced by ``tests/test_cluster_batch.py`` and
-``tests/test_cluster_faults.py``.
+(``flush_window_state``) and rebuilt over the surviving fleet.  Checkpointed
+resumes need no special handling either: a replacement session constructed
+mid-video (``TranscodingSession(start_frame_index=...)``) joins a rebuilt
+stepper like any other, because lanes read ``session.frame_index`` fresh at
+every gather and ``step_counter`` initialises from ``session.step``.  The
+equivalence is enforced by ``tests/test_cluster_batch.py``,
+``tests/test_cluster_faults.py`` and ``tests/test_cluster_domains.py``.
 
 Two deliberate deviations from the scalar path, neither observable in the
 results: the in-memory DVFS driver mirror (``MulticoreServer``'s

@@ -43,10 +43,17 @@ the recovery paths: abrupt server crashes (in-flight sessions salvaged —
 Q-tables snapshotted, the remaining playlist re-dispatched with bounded
 retries and exponential backoff, learning restored on the replacement
 server), transient stragglers (throttled servers leave the dispatchable
-roster but keep serving what they have), and warm-up failures (a
-commissioned server that never comes ready).  Fault-driven membership
-changes ride the same roster-refresh path as autoscaling resizes, so both
-engines stay seed-for-seed identical under any fault schedule.
+roster but keep serving what they have), warm-up failures (a commissioned
+server that never comes ready), and *correlated zone outages*: every slot
+carries a seeded ``(zone, rack)`` failure domain, and a zone outage —
+drawn from a zone MTBF or declared by a kill schedule — takes down every
+server of the domain at once.  Periodic frame-level checkpoints (metered
+as a bandwidth cost in fleet power) bound a retry's recomputation to the
+checkpoint interval, and the failure-aware dispatcher steers work toward
+long-uptime servers and retries away from the zone that lost them.
+Fault-driven membership changes ride the same roster-refresh path as
+autoscaling resizes, so both engines stay seed-for-seed identical under
+any fault schedule.
 
 Everything downstream of the seed is deterministic: the same
 ``(workload seed, policies, cluster seed, fault seed)`` tuple reproduces
@@ -67,10 +74,10 @@ from repro.cluster.autoscale import AutoscalePolicy, AutoscaleSignals
 from repro.cluster.batch import BatchStepper
 from repro.cluster.brownout import BrownoutController
 from repro.cluster.dispatch import DispatchPolicy, LeastLoaded
-from repro.cluster.faults import FaultConfig, FaultInjector
+from repro.cluster.faults import FailureTopology, FaultConfig, FaultInjector
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import WorkloadEvent, WorkloadGenerator
-from repro.core.persistence import restore_controller, snapshot_controller
+from repro.core.persistence import restore_session_state, snapshot_session
 from repro.manager.factories import ControllerFactory, mamut_factory
 from repro.manager.orchestrator import Orchestrator
 from repro.manager.session import TranscodingSession
@@ -127,6 +134,10 @@ class _ServerSlot:
         "recover_step",
         "recovery_ready_step",
         "warmup_fails",
+        "zone",
+        "rack",
+        "crashes",
+        "up_since",
     )
 
     def __init__(
@@ -151,30 +162,65 @@ class _ServerSlot:
         self.recover_step: Optional[int] = None
         self.recovery_ready_step = 0
         self.warmup_fails = False
+        # Failure-domain identity and crash history; the orchestrator
+        # assigns the domain from its topology right after construction.
+        self.zone = 0
+        self.rack = 0
+        self.crashes = 0
+        self.up_since = commissioned_step
 
 
 class _RetryTicket:
     """A request salvaged from a crashed server, waiting to be re-dispatched.
 
     Carries everything recovery needs: the original workload event (class
-    and playlist provenance), the remaining playlist (the crashed video
-    restarts from its first frame; finished videos are not redone), the
-    crash-attempt count, the step at which the exponential backoff makes the
-    ticket eligible again, and the Q-table snapshot captured from the dying
-    session's controller so learning migrates to the replacement server.
+    and playlist provenance), the remaining playlist (finished videos are
+    not redone), the crash-attempt count, the step at which the exponential
+    backoff makes the ticket eligible again, and the session snapshot
+    captured from the dying session (Q-tables plus checkpointed progress)
+    so learning migrates to the replacement server.  ``resume_frame`` is
+    the frame of the interrupted video the replacement session starts at —
+    the last checkpoint, or 0 (replay from the video start) when
+    checkpointing is off; ``recomputed`` is the frames between that
+    checkpoint and the crash point, charged to the ``recomputed_frames``
+    ledger when the retry is actually dispatched.  ``from_zone`` is the
+    failure domain the session was lost in, published to the dispatcher so
+    failure-aware policies spread retries across domains.
     """
 
-    __slots__ = ("event", "user_id", "attempt", "ready_step", "playlist", "agent_snapshot")
+    __slots__ = (
+        "event",
+        "user_id",
+        "attempt",
+        "ready_step",
+        "playlist",
+        "session_state",
+        "resume_frame",
+        "from_zone",
+        "recomputed",
+    )
 
     def __init__(
-        self, event, user_id, attempt, ready_step, playlist, agent_snapshot
+        self,
+        event,
+        user_id,
+        attempt,
+        ready_step,
+        playlist,
+        session_state,
+        resume_frame=0,
+        from_zone=None,
+        recomputed=0,
     ) -> None:
         self.event = event
         self.user_id = user_id
         self.attempt = attempt
         self.ready_step = ready_step
         self.playlist = playlist
-        self.agent_snapshot = agent_snapshot
+        self.session_state = session_state
+        self.resume_frame = resume_frame
+        self.from_zone = from_zone
+        self.recomputed = recomputed
 
 
 class _SessionMeta:
@@ -236,6 +282,16 @@ class ClusterResult:
     fault_events:
         Every injected fault and recovery, in order (empty without a fault
         injector).
+    recomputed_frames:
+        Frames crash retries had to re-transcode — the gap between the
+        last checkpoint (or video start) and the crash point, summed over
+        every dispatched retry.
+    checkpoint_writes:
+        Frame-level session checkpoints written (0 when checkpointing is
+        off).
+    checkpoint_energy_j:
+        Modeled bandwidth/IO energy of those writes, already included in
+        the per-server power traces.
     """
 
     records_by_server: tuple[Mapping[str, Sequence[FrameRecord]], ...]
@@ -254,6 +310,9 @@ class ClusterResult:
     failed: int = 0
     retried: int = 0
     fault_events: tuple[FaultEvent, ...] = ()
+    recomputed_frames: int = 0
+    checkpoint_writes: int = 0
+    checkpoint_energy_j: float = 0.0
 
     def summary(self) -> ClusterSummary:
         """Aggregate the run into fleet-level metrics."""
@@ -274,6 +333,9 @@ class ClusterResult:
             failed=self.failed,
             retried=self.retried,
             fault_events=self.fault_events,
+            recomputed_frames=self.recomputed_frames,
+            checkpoint_writes=self.checkpoint_writes,
+            checkpoint_energy_j=self.checkpoint_energy_j,
         )
 
 
@@ -345,6 +407,16 @@ class ClusterOrchestrator:
         seed-for-seed identical under any fault schedule.  A config with no
         fault mode enabled draws nothing and is bitwise identical to
         ``None``.
+
+        The config's :class:`~repro.cluster.faults.FailureTopology` assigns
+        every roster slot a ``(zone, rack)`` failure domain; correlated
+        zone outages (drawn per-zone from ``zone_mtbf_steps`` or declared
+        by a :class:`~repro.cluster.faults.KillSchedule`) crash every
+        server of a zone at once.  With ``checkpoint_interval_frames`` set,
+        sessions checkpoint periodically (a modeled bandwidth cost metered
+        into fleet power) and crash retries resume the interrupted video
+        from the last checkpoint instead of its start, bounding
+        recomputation to the interval.
     """
 
     def __init__(
@@ -431,6 +503,21 @@ class ClusterOrchestrator:
         # through None here also skips the per-session recovery bookkeeping,
         # making the disabled path literally the pre-fault code.
         self.faults = faults if faults is not None and faults.enabled else None
+        self._topology = (
+            self.faults.topology if self.faults is not None else FailureTopology()
+        )
+        for slot in self._slots:
+            slot.zone, slot.rack = self._topology.domain_of(slot.index)
+        fault_cfg = self.faults.config if self.faults is not None else None
+        self._ckpt_interval = (
+            fault_cfg.checkpoint_interval_frames if fault_cfg is not None else None
+        )
+        self._ckpt_power = (
+            fault_cfg.checkpoint_power_w if fault_cfg is not None else 0.0
+        )
+        self._recomputed_frames = 0
+        self._checkpoint_writes = 0
+        self._checkpoint_energy = 0.0
         self._fault_events: list[FaultEvent] = []
         self._failed_slots: list[_ServerSlot] = []
         self._retry_queue: list[_RetryTicket] = []
@@ -536,6 +623,18 @@ class ClusterOrchestrator:
         self._m_failed = m.counter(
             "repro_failed_total",
             "Admitted requests lost to crashes past their retry budget",
+        )
+        self._m_domains = m.gauge(
+            "repro_fleet_available_domains",
+            "Failure zones with at least one dispatchable server",
+        )
+        self._m_zone_outages = m.counter(
+            "repro_zone_outages_total",
+            "Injected correlated zone outages (drawn or scheduled)",
+        )
+        self._m_recomputed = m.counter(
+            "repro_recomputed_frames_total",
+            "Frames re-transcoded by crash retries",
         )
 
     def _count_verdict(self, verdict: AdmissionVerdict) -> None:
@@ -647,6 +746,10 @@ class ClusterOrchestrator:
                 sessions_dispatched=slot.dispatched,
                 idle_power_w=slot.idle_power_w,
                 last_active_sessions=slot.last_active,
+                zone=slot.zone,
+                rack=slot.rack,
+                crash_count=slot.crashes,
+                uptime_steps=max(0, step - slot.up_since),
             )
             for index, slot in enumerate(self._dispatchable)
         )
@@ -854,6 +957,17 @@ class ClusterOrchestrator:
                     )
 
             for event in self.workload.arrivals(step):
+                if self.faults is not None and "#r" in event.request.user_id:
+                    # Retry re-dispatches are recorded under synthesized
+                    # "<user>#r<attempt>" keys; a raw user id containing
+                    # "#r" could collide with them (user "a#r2" vs retry 2
+                    # of user "a"), silently merging two requests' ledgers.
+                    # Reject at admission instead of risking the collision.
+                    raise ClusterError(
+                        f"user id {event.request.user_id!r} contains the "
+                        "reserved retry-key marker '#r'; rename the user — "
+                        "crash retries are recorded under '<user>#r<n>' keys"
+                    )
                 arrivals += 1
                 step_arrivals += 1
                 tracer.emit(
@@ -1010,6 +1124,9 @@ class ClusterOrchestrator:
             failed=self._failed,
             retried=self._retried,
             fault_events=tuple(self._fault_events),
+            recomputed_frames=self._recomputed_frames,
+            checkpoint_writes=self._checkpoint_writes,
+            checkpoint_energy_j=self._checkpoint_energy,
         )
 
     # -- internals ---------------------------------------------------------------------
@@ -1067,13 +1184,22 @@ class ClusterOrchestrator:
         With a ``ticket`` this is a crash-recovery re-dispatch: the session
         is rebuilt from the ticket's remaining playlist under a
         ``<user>#r<attempt>`` record key (the crashed server keeps the
-        partial records under the original key), and the Q-table snapshot
+        partial records under the original key), resumes the interrupted
+        video at the ticket's checkpointed frame, and the Q-table snapshot
         salvaged from the dying controller is restored into the replacement
-        — the migrated session resumes with its learning intact.  Trace
-        spans keep the ORIGINAL user id throughout, so a request's
-        lifecycle stays one stream no matter how often it migrates.
+        — the migrated session resumes with its learning intact.  The
+        dispatcher's view of the snapshot is annotated with the zone the
+        session was lost in (``retry_of_zone``) so failure-aware policies
+        can spread retries across domains.  Trace spans keep the ORIGINAL
+        user id throughout, so a request's lifecycle stays one stream no
+        matter how often it migrates.
         """
-        index = self.dispatcher.select(event, snapshot)
+        policy_view = snapshot
+        if ticket is not None and ticket.from_zone is not None:
+            policy_view = dataclasses.replace(
+                snapshot, retry_of_zone=ticket.from_zone
+            )
+        index = self.dispatcher.select(event, policy_view)
         if not 0 <= index < len(snapshot.servers):
             raise ClusterError(
                 f"{self.dispatcher.name} chose server {index} "
@@ -1106,12 +1232,20 @@ class ClusterOrchestrator:
             degraded = True
         controller = factory(request, self.seed + self._admitted)
         self._admitted += 1
+        start_frame = 0
         if ticket is not None:
-            restore_controller(controller, ticket.agent_snapshot)
+            restore_session_state(controller, ticket.session_state)
+            start_frame = ticket.resume_frame
+            # Recomputation is charged when the retry actually runs: the
+            # frames between the resume point and the crash point are work
+            # the fleet does twice.
+            self._recomputed_frames += ticket.recomputed
+            self._m_recomputed.inc(ticket.recomputed)
         session = TranscodingSession(
             request=request,
             controller=controller,
             playlist=playlist,
+            start_frame_index=start_frame,
         )
         slot = self._dispatchable[index]
         slot.orchestrator.add_session(session)
@@ -1133,6 +1267,7 @@ class ClusterOrchestrator:
                     degraded=degraded,
                     brownout_level=self._brownout_level,
                     retry=attempt,
+                    resume_frame=start_frame,
                 )
             else:
                 tracer.emit(
@@ -1175,8 +1310,17 @@ class ClusterOrchestrator:
         for slot in self._live:
             if slot.health == _RECOVERING and step >= slot.recovery_ready_step:
                 slot.health = _HEALTHY
+                # A reboot resets the observed uptime; a throttle expiring
+                # below does not (the machine never went down).
+                slot.up_since = step
                 self._fault_events.append(
-                    FaultEvent(step=step, kind="recovered", server=slot.index)
+                    FaultEvent(
+                        step=step,
+                        kind="recovered",
+                        server=slot.index,
+                        zone=slot.zone,
+                        rack=slot.rack,
+                    )
                 )
                 changed = True
             elif slot.health == _DEGRADED and step >= slot.throttle_until:
@@ -1217,6 +1361,7 @@ class ClusterOrchestrator:
                         )
                 else:
                     slot.state = _ACTIVE
+                    slot.up_since = step
                 changed = True
             elif slot.state == _DRAINING and slot.active_count == 0:
                 slot.state = _RETIRED
@@ -1228,15 +1373,28 @@ class ClusterOrchestrator:
     def _inject_faults(self, step: int) -> None:
         """Draw this step's faults from the seeded injector and apply them.
 
-        Walks the live roster in slot order making one Bernoulli draw per
-        vulnerable server — the draw order depends only on fleet membership,
-        never on which engine steps the fleet, so both engines see the
-        identical fault schedule.  Runs only during the arrival window: the
-        drain tail is fault-free, which guarantees admitted sessions
-        eventually finish instead of looping crash-and-retry forever.
+        Correlated failures first: scheduled zone kills (no draws), then
+        the per-zone MTBF draws on the injector's dedicated domain
+        substream — a fixed number of draws per step regardless of fleet
+        membership, so the zonal schedule survives autoscale resizes
+        bitwise unchanged.  Then the per-server draws: walks the live
+        roster in slot order making one Bernoulli draw per vulnerable
+        server — the draw order depends only on fleet membership, never on
+        which engine steps the fleet, so both engines see the identical
+        fault schedule.  Servers a zone kill just took down are skipped by
+        the per-server walk (they are no longer vulnerable).  Runs only
+        during the arrival window: the drain tail is fault-free, which
+        guarantees admitted sessions eventually finish instead of looping
+        crash-and-retry forever.
         """
         faults = self.faults
         changed = False
+        for entry in faults.scheduled_kills(step):
+            changed |= self._kill_zone(
+                step, entry.zone, entry.duration, scheduled=True
+            )
+        for zone, downtime in faults.zone_outages():
+            changed |= self._kill_zone(step, zone, downtime, scheduled=False)
         for slot in list(self._live):
             if slot.state not in (_ACTIVE, _DRAINING):
                 continue  # warming servers fail via warmup_fails instead
@@ -1270,22 +1428,79 @@ class ClusterOrchestrator:
         if changed:
             self._refresh_fleet_views()
 
-    def _crash_slot(self, slot: _ServerSlot, step: int) -> None:
+    def _kill_zone(
+        self, step: int, zone: int, downtime: int, scheduled: bool
+    ) -> bool:
+        """Take a whole failure zone down at once; returns True on change.
+
+        Every powered-on server of the zone that a per-server crash could
+        hit (ACTIVE/DRAINING, HEALTHY/DEGRADED) crashes simultaneously,
+        all sharing the outage's single downtime — zone power loss, not N
+        independent failures.  Warming servers ride out the outage on the
+        provisioning path (they hold no sessions).  The outage itself is
+        recorded as one ``zone_outage`` fault event (``server=-1``)
+        alongside the per-server crash events it causes.
+        """
+        victims = [
+            s
+            for s in self._live
+            if s.zone == zone
+            and s.state in (_ACTIVE, _DRAINING)
+            and s.health in (_HEALTHY, _DEGRADED)
+        ]
+        cause = "scheduled kill" if scheduled else "drawn outage"
+        self._fault_events.append(
+            FaultEvent(
+                step=step,
+                kind="zone_outage",
+                server=-1,
+                sessions_lost=sum(s.active_count for s in victims),
+                detail=(
+                    f"{cause}: {len(victims)} servers down for "
+                    f"{downtime} steps"
+                ),
+                zone=zone,
+            )
+        )
+        self._m_zone_outages.inc()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "fault",
+                step,
+                f"zone-{zone}",
+                fault="zone_outage",
+                zone=zone,
+                servers=len(victims),
+                scheduled=scheduled,
+                downtime=downtime,
+            )
+        for slot in victims:
+            self._crash_slot(slot, step, downtime=downtime)
+        return bool(victims)
+
+    def _crash_slot(
+        self, slot: _ServerSlot, step: int, downtime: Optional[int] = None
+    ) -> None:
         """Abruptly kill one server; salvage its in-flight sessions.
 
         Every session running on the slot is terminated in place (its
         partial records stay in the ledger under the original user id), its
-        controller's learned state is snapshotted, and the unfinished rest
-        of its playlist is enqueued as a retry ticket with exponential
-        backoff — unless the session has exhausted its retry budget, in
-        which case it lands in the ``failed`` ledger.  The slot itself goes
-        off power until its seeded recovery step.
+        state is snapshotted (Q-tables plus checkpointed progress), and the
+        unfinished rest of its playlist is enqueued as a retry ticket with
+        exponential backoff — unless the session has exhausted its retry
+        budget, in which case it lands in the ``failed`` ledger.  The slot
+        itself goes off power until its seeded recovery step.  ``downtime``
+        overrides the per-crash MTTR draw — zone outages pass the single
+        downtime every victim of the outage shares.
         """
         faults = self.faults
         sessions = slot.orchestrator.active_sessions()
         slot.health = _FAILED
-        slot.recover_step = step + faults.downtime_steps()
+        if downtime is None:
+            downtime = faults.downtime_steps()
+        slot.recover_step = step + downtime
         slot.active_count = 0
+        slot.crashes += 1
         self._failed_slots.append(slot)
         self._fault_events.append(
             FaultEvent(
@@ -1294,6 +1509,8 @@ class ClusterOrchestrator:
                 server=slot.index,
                 sessions_lost=len(sessions),
                 detail=f"down until step {slot.recover_step}",
+                zone=slot.zone,
+                rack=slot.rack,
             )
         )
         self._m_crashes.inc()
@@ -1306,6 +1523,7 @@ class ClusterOrchestrator:
                 fault="crash",
                 server=slot.index,
                 sessions_lost=len(sessions),
+                zone=slot.zone,
             )
             if sessions:
                 crashed = {id(s) for s in sessions}
@@ -1318,7 +1536,9 @@ class ClusterOrchestrator:
             meta = self._session_meta.pop(id(session), None)
             if meta is None:  # session predates fault bookkeeping; treat as fresh
                 meta = _SessionMeta(None, session.request.user_id, 0)
-            snapshot = snapshot_controller(session.controller)
+            state = snapshot_session(
+                session, checkpoint_interval=self._ckpt_interval
+            )
             remaining = tuple(session.playlist[session.video_index :])
             frames_done = len(session.records)
             session.terminate()
@@ -1331,6 +1551,7 @@ class ClusterOrchestrator:
                     server=slot.index,
                     frames=frames_done,
                     attempt=attempt,
+                    zone=slot.zone,
                 )
             if meta.event is None or attempt > faults.config.max_retries:
                 self._failed += 1
@@ -1350,7 +1571,10 @@ class ClusterOrchestrator:
                         attempt=attempt,
                         ready_step=faults.retry_ready_step(step, attempt),
                         playlist=remaining,
-                        agent_snapshot=snapshot,
+                        session_state=state,
+                        resume_frame=state["resume_frame"],
+                        from_zone=slot.zone,
+                        recomputed=state["recomputed_frames"],
                     )
                 )
 
@@ -1452,6 +1676,10 @@ class ClusterOrchestrator:
             slot = _ServerSlot(
                 len(self._slots), Orchestrator(server=self.server_factory()), step
             )
+            # The domain is a pure function of the slot index, so a server
+            # commissioned mid-run lands in the same zone it would have had
+            # in a bigger initial fleet — resizes never reshuffle domains.
+            slot.zone, slot.rack = self._topology.domain_of(slot.index)
             slot.orchestrator.profiler = self._profiler
             slot.ready_step = step + self.provision_warmup_steps
             if self.provision_warmup_steps > 0:
@@ -1564,7 +1792,31 @@ class ClusterOrchestrator:
                 step_samples.append(sample)
 
         frames = violations = 0
+        ckpt_interval = self._ckpt_interval
         for slot, sample, sessions in zip(live, step_samples, stepped):
+            if ckpt_interval is not None:
+                # Checkpoint metering runs here — shared verbatim by both
+                # engines, after they produced the step's sample — so the
+                # modeled bandwidth cost lands identically on either.  A
+                # session checkpoints when the step completed a multiple of
+                # the interval within its current video; video boundaries
+                # are natural durable points and cost nothing (frame_index
+                # resets to 0 there).
+                writes = 0
+                for session in sessions:
+                    if (
+                        session.active
+                        and session.frame_index > 0
+                        and session.frame_index % ckpt_interval == 0
+                    ):
+                        writes += 1
+                if writes:
+                    extra_w = writes * self._ckpt_power
+                    sample = dataclasses.replace(
+                        sample, power_w=sample.power_w + extra_w
+                    )
+                    self._checkpoint_writes += writes
+                    self._checkpoint_energy += extra_w * sample.duration_s
             slot.samples.append(sample)
             slot.last_power_w = sample.power_w
             slot.last_active = sample.active_sessions
@@ -1614,11 +1866,13 @@ class ClusterOrchestrator:
             recovering_servers=sum(
                 1 for s in self._live if s.health == _RECOVERING
             ),
+            available_domains=len({s.zone for s in self._dispatchable}),
         )
         self._fleet_trace.append(sample)
         self._profiler.count_step()
         if self._metrics.enabled:
             self._m_healthy.set(sample.healthy_servers)
+            self._m_domains.set(sample.available_domains)
             self._m_queue.set(sample.queue_length)
             self._m_live.set(sample.live_servers)
             self._m_dispatchable.set(sample.dispatchable_servers)

@@ -9,12 +9,17 @@ and returns the index of the target server.  Three classic policies ship:
 * :class:`LeastLoaded` — fewest active sessions wins (ties break to the
   lowest index, keeping traces deterministic);
 * :class:`PowerAware` — lowest last-step package power wins, steering new
-  work to the coolest machine.
+  work to the coolest machine;
+* :class:`FailureAware` — crash-history-weighted: prefer servers with long
+  observed uptimes and few crashes, and steer crash *retries* away from the
+  failure zone that just lost them.
 
 Policies never see unhealthy capacity: the snapshot's ``servers`` tuple is
 the *dispatchable* roster, which the orchestrator already strips of
 warming, draining, straggler-throttled and crashed servers — routing
 around failures requires no fault awareness in the policies themselves.
+:class:`FailureAware` goes one step further and reasons about the fault
+*history* the roster cannot express.
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ from repro.errors import ClusterError
 from repro.cluster.state import ClusterSnapshot
 from repro.cluster.workload import WorkloadEvent
 
-__all__ = ["DispatchPolicy", "RoundRobin", "LeastLoaded", "PowerAware"]
+__all__ = [
+    "DispatchPolicy",
+    "RoundRobin",
+    "LeastLoaded",
+    "PowerAware",
+    "FailureAware",
+]
 
 
 class DispatchPolicy(abc.ABC):
@@ -103,6 +114,45 @@ class PowerAware(DispatchPolicy):
             key=lambda s: (
                 s.projected_power_w(estimate),
                 s.active_sessions,
+                s.server_index,
+            ),
+        )
+        return best.server_index
+
+
+class FailureAware(DispatchPolicy):
+    """Crash-history-weighted dispatch: trust machines that stay up.
+
+    Closes the loop between the fault ledger and routing.  Each candidate
+    is scored by a load-per-trust ratio — projected load ``active + 1``
+    inflated by its observed crash count and discounted by its observed
+    uptime::
+
+        score = (active_sessions + 1) * (1 + crash_count) / (1 + uptime_steps)
+
+    so at equal load a server that has crashed twice scores three times
+    worse than one that never has, and at equal crash history the machine
+    up longest wins.  Two extra rules harden recovery paths:
+
+    * **Retry anti-affinity** — when the snapshot marks the decision as a
+      crash retry (:attr:`~repro.cluster.state.ClusterSnapshot.retry_of_zone`),
+      every server *outside* the zone that just lost the session outranks
+      every server inside it.  One correlated outage then cannot eat a
+      session's whole retry budget.
+    * **Deterministic ties** — ties break by crash count, then longest
+      uptime, then index, so both stepping engines route identically.
+    """
+
+    def select(self, event: WorkloadEvent, snapshot: ClusterSnapshot) -> int:
+        self._require_servers(snapshot)
+        avoid_zone = snapshot.retry_of_zone
+        best = min(
+            snapshot.servers,
+            key=lambda s: (
+                1 if avoid_zone is not None and s.zone == avoid_zone else 0,
+                (s.active_sessions + 1) * (1 + s.crash_count) / (1 + s.uptime_steps),
+                s.crash_count,
+                -s.uptime_steps,
                 s.server_index,
             ),
         )

@@ -38,6 +38,17 @@ class ServerSnapshot:
         ``active_sessions`` can exceed this within a step (sessions admitted
         since the last sample have not drawn power yet), which is what lets
         policies project the power already committed this step.
+    zone / rack:
+        The server's ``(zone, rack)`` failure domain
+        (:class:`~repro.cluster.faults.FailureTopology`); both 0 when no
+        topology was configured.
+    crash_count:
+        Injected crashes this server has suffered so far — the fault
+        ledger's view of its reliability, for crash-history-weighted
+        dispatch.
+    uptime_steps:
+        Steps since the server last (re)entered healthy service; longer
+        observed uptimes are weak evidence of a more reliable machine.
     """
 
     server_index: int
@@ -46,6 +57,10 @@ class ServerSnapshot:
     sessions_dispatched: int
     idle_power_w: float = 0.0
     last_active_sessions: int = 0
+    zone: int = 0
+    rack: int = 0
+    crash_count: int = 0
+    uptime_steps: int = 0
 
     def marginal_session_power_w(self, fallback_w: float) -> float:
         """Estimated package power one more session would add.
@@ -122,6 +137,11 @@ class ClusterSnapshot:
     recovering_servers:
         Crashed servers back on power, rebooting through the provisioning
         warm-up before they rejoin the dispatchable roster.
+    retry_of_zone:
+        When the decision routes a *crash retry*, the zone the session was
+        lost in; ``None`` for ordinary dispatches.  Failure-aware policies
+        use it to spread retries across failure domains instead of
+        re-landing them where the outage struck.
     """
 
     step: int
@@ -136,6 +156,7 @@ class ClusterSnapshot:
     degraded_servers: int = 0
     failed_servers: int = 0
     recovering_servers: int = 0
+    retry_of_zone: Optional[int] = None
 
     def __iter__(self) -> Iterator[ServerSnapshot]:
         return iter(self.servers)
@@ -155,6 +176,11 @@ class ClusterSnapshot:
     def num_servers(self) -> int:
         """Number of servers in the fleet."""
         return len(self.servers)
+
+    @property
+    def available_zones(self) -> int:
+        """Distinct failure zones with at least one dispatchable server."""
+        return len({server.zone for server in self.servers})
 
     @property
     def total_active_sessions(self) -> int:

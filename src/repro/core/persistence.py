@@ -28,6 +28,8 @@ __all__ = [
     "restore_agents",
     "snapshot_controller",
     "restore_controller",
+    "snapshot_session",
+    "restore_session_state",
     "save_snapshot",
     "load_snapshot",
 ]
@@ -184,6 +186,48 @@ def restore_controller(controller: Any, snapshot: Mapping[str, Any] | None) -> b
     except LearningError:
         return False
     return True
+
+
+def snapshot_session(
+    session: Any, *, checkpoint_interval: int | None = None
+) -> dict[str, Any]:
+    """Snapshot a transcoding session for crash salvage / migration.
+
+    Extends :func:`snapshot_controller` with *progress* state: which video
+    the session was in and — when frame-level checkpointing is on — the
+    last checkpointed frame of that video.  ``resume_frame`` is the largest
+    multiple of ``checkpoint_interval`` at or below the session's current
+    frame (0 when checkpointing is off: the classic replay-from-video-start
+    behaviour), and ``recomputed_frames`` is the work between the
+    checkpoint and the crash point that a retry must redo.  Both are pure
+    functions of the session's frame index, so the scalar and batch engines
+    — which agree on every frame index — produce identical snapshots.
+    """
+    frame = int(session.frame_index)
+    if checkpoint_interval is not None and checkpoint_interval > 0:
+        resume_frame = frame - frame % checkpoint_interval
+    else:
+        resume_frame = 0
+    return {
+        "version": SNAPSHOT_VERSION,
+        "controller": snapshot_controller(session.controller),
+        "video_index": int(session.video_index),
+        "resume_frame": resume_frame,
+        "recomputed_frames": frame - resume_frame,
+    }
+
+
+def restore_session_state(controller: Any, snapshot: Mapping[str, Any] | None) -> bool:
+    """Restore the controller half of a :func:`snapshot_session` snapshot.
+
+    Progress (``resume_frame``) is the caller's to apply — the cluster
+    layer constructs the replacement session at the checkpointed frame —
+    so this helper only rehydrates learned state, with
+    :func:`restore_controller`'s best-effort semantics.
+    """
+    if snapshot is None:
+        return False
+    return restore_controller(controller, snapshot.get("controller"))
 
 
 def save_snapshot(snapshot: Mapping[str, Any], path: str | Path) -> Path:

@@ -60,6 +60,11 @@ class TranscodingSession:
     preset:
         Encoder preset; defaults to the paper's choice per resolution class
         (ultrafast for HR, slow for LR).
+    start_frame_index:
+        First frame of the playlist's first video to transcode; defaults
+        to 0.  The cluster's checkpointed crash recovery dispatches retry
+        sessions from the last checkpointed frame of the interrupted video
+        instead of replaying it from the start.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class TranscodingSession:
         playlist: Optional[Sequence[VideoSequence]] = None,
         transcoder: Optional[Transcoder] = None,
         preset: Optional[Preset] = None,
+        start_frame_index: int = 0,
     ) -> None:
         self.request = request
         self.controller = controller
@@ -77,13 +83,18 @@ class TranscodingSession:
         )
         if not self.playlist:
             raise ScenarioError(f"session {request.user_id!r} has an empty playlist")
+        if not 0 <= start_frame_index < len(self.playlist[0]):
+            raise ScenarioError(
+                f"start_frame_index {start_frame_index} outside first video "
+                f"of session {request.user_id!r} ({len(self.playlist[0])} frames)"
+            )
         self.transcoder = transcoder if transcoder is not None else Transcoder()
         self._preset_override = preset
 
         self.records: list[FrameRecord] = []
         self.last_observation: Optional[Observation] = None
         self._video_index = 0
-        self._frame_index = 0
+        self._frame_index = start_frame_index
         self._step = 0
         self._pending: Optional[tuple[Decision, Optional[EncoderConfig]]] = None
 

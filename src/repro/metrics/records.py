@@ -129,16 +129,23 @@ class FaultEvent:
         ``"crash"`` (abrupt server failure), ``"straggler"`` (transient
         throttle: the server keeps its sessions but takes no new ones),
         ``"warmup_failure"`` (a provision that never came ready and was
-        retired), or ``"recovered"`` (a crashed server back in service or a
-        throttle expiring).
+        retired), ``"zone_outage"`` (a correlated domain failure taking
+        down every powered-on server of one zone; the per-server crashes it
+        causes follow as their own events), or ``"recovered"`` (a crashed
+        server back in service or a throttle expiring).
     server:
-        Global slot index of the affected server.
+        Global slot index of the affected server (-1 for domain-level
+        events such as ``"zone_outage"``, which name a zone, not a server).
     sessions_lost:
         Sessions in flight on the server when a crash killed it (0 for the
         other kinds — stragglers keep their sessions).
     detail:
         Human-readable specifics (planned downtime, throttle length, what
         the recovery closed).
+    zone / rack:
+        Failure domain of the affected server (``None`` in events recorded
+        before failure domains existed, and ``rack`` is ``None`` on
+        zone-level events).
     """
 
     step: int
@@ -146,6 +153,8 @@ class FaultEvent:
     server: int
     sessions_lost: int = 0
     detail: str = ""
+    zone: int | None = None
+    rack: int | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -199,6 +208,10 @@ class FleetSample:
     recovering_servers:
         Crashed servers back on power, rebooting through the provisioning
         warm-up before they serve again.
+    available_domains:
+        Distinct failure zones with at least one dispatchable server — the
+        series exported as ``repro_fleet_available_domains``.  0 in samples
+        recorded before domain tracking existed.
     """
 
     step: int
@@ -217,3 +230,4 @@ class FleetSample:
     degraded_servers: int = 0
     failed_servers: int = 0
     recovering_servers: int = 0
+    available_domains: int = 0

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 import pytest
 
 from repro.errors import ClusterError
-from repro.cluster.dispatch import LeastLoaded, PowerAware, RoundRobin
+from repro.cluster.dispatch import FailureAware, LeastLoaded, PowerAware, RoundRobin
 from repro.cluster.state import ClusterSnapshot, ServerSnapshot
 from repro.cluster.workload import PoissonTraffic, WorkloadGenerator
 
@@ -54,14 +54,14 @@ class TestSelectionIsValid:
         powers = [power for _, power in fleet]
         snapshot = make_snapshot(loads, powers)
         event = make_event()
-        for policy in (RoundRobin(), LeastLoaded(), PowerAware()):
+        for policy in (RoundRobin(), LeastLoaded(), PowerAware(), FailureAware()):
             index = policy.select(event, snapshot)
             assert isinstance(index, int)
             assert 0 <= index < len(fleet)
 
     def test_empty_fleet_rejected(self):
         snapshot = ClusterSnapshot(step=0, servers=(), queue_length=0, power_cap_w=0.0)
-        for policy in (RoundRobin(), LeastLoaded(), PowerAware()):
+        for policy in (RoundRobin(), LeastLoaded(), PowerAware(), FailureAware()):
             with pytest.raises(ClusterError):
                 policy.select(make_event(), snapshot)
 
@@ -109,6 +109,78 @@ class TestPowerAware:
     def test_estimate_validated(self):
         with pytest.raises(ClusterError):
             PowerAware(watts_per_session_estimate=0.0)
+
+
+def make_failure_snapshot(rows, retry_of_zone=None):
+    """rows: (active, crash_count, uptime_steps, zone) per server."""
+    servers = tuple(
+        ServerSnapshot(
+            server_index=i,
+            active_sessions=active,
+            last_power_w=50.0,
+            sessions_dispatched=0,
+            zone=zone,
+            crash_count=crashes,
+            uptime_steps=uptime,
+        )
+        for i, (active, crashes, uptime, zone) in enumerate(rows)
+    )
+    return ClusterSnapshot(
+        step=0,
+        servers=servers,
+        queue_length=0,
+        power_cap_w=480.0,
+        retry_of_zone=retry_of_zone,
+    )
+
+
+class TestFailureAware:
+    def test_prefers_crash_free_server_at_equal_load(self):
+        snapshot = make_failure_snapshot(
+            [(1, 2, 50, 0), (1, 0, 50, 1), (1, 1, 50, 2)]
+        )
+        assert FailureAware().select(make_event(), snapshot) == 1
+
+    def test_prefers_longest_uptime_at_equal_history(self):
+        snapshot = make_failure_snapshot(
+            [(1, 0, 10, 0), (1, 0, 80, 1), (1, 0, 40, 2)]
+        )
+        assert FailureAware().select(make_event(), snapshot) == 1
+
+    def test_load_still_matters(self):
+        # A flaky-but-idle server can beat a reliable-but-saturated one:
+        # the score is load-per-trust, not trust alone.
+        snapshot = make_failure_snapshot(
+            [(9, 0, 100, 0), (0, 1, 100, 1)]
+        )
+        assert FailureAware().select(make_event(), snapshot) == 1
+
+    def test_retry_avoids_the_lost_zone(self):
+        # Server 0 is the best-scoring machine, but the decision is a
+        # retry of a session zone 0 just lost: anti-affinity must push
+        # the session to the best server *outside* zone 0.
+        rows = [(0, 0, 100, 0), (2, 1, 30, 1), (1, 0, 60, 1)]
+        ordinary = FailureAware().select(make_event(), make_failure_snapshot(rows))
+        assert ordinary == 0
+        retry = FailureAware().select(
+            make_event(), make_failure_snapshot(rows, retry_of_zone=0)
+        )
+        assert retry == 2
+
+    def test_retry_falls_back_into_zone_when_alone(self):
+        # Anti-affinity is a preference, not a constraint: when every
+        # dispatchable server is in the lost zone, the retry still lands.
+        rows = [(1, 1, 10, 0), (0, 0, 50, 0)]
+        chosen = FailureAware().select(
+            make_event(), make_failure_snapshot(rows, retry_of_zone=0)
+        )
+        assert chosen == 1
+
+    def test_ties_break_by_index(self):
+        snapshot = make_failure_snapshot(
+            [(1, 0, 50, 0), (1, 0, 50, 1), (1, 0, 50, 2)]
+        )
+        assert FailureAware().select(make_event(), snapshot) == 0
 
 
 class TestRoundRobin:

@@ -1,17 +1,24 @@
 """Fault injection and failure recovery: crashes, stragglers, retries.
 
-Covers the three contracts of the fault subsystem:
+Covers the contracts of the fault subsystem:
 
 * **Determinism** — the same ``(workload seed, cluster seed, fault seed)``
   produces the identical fault schedule and the identical run on both
   stepping engines: full :class:`~repro.cluster.cluster.ClusterResult`
   equality (frame records, power traces, ledger, fault events), identical
   trace span streams, and identical final Q-tables.  A no-op fault config
-  is bitwise identical to running without one.
+  is bitwise identical to running without one.  Correlated zone outages
+  (declarative kill schedules and MTBF-drawn) and checkpointed recovery
+  hold the same bar.
+* **Schedule isolation** — the fault schedule is a pure function of the
+  fault seed: turning telemetry on, evaluating SLOs online, or resizing
+  the fleet mid-run (autoscaling) must not move a single fault draw.
 * **Recovery semantics** — crashed sessions are salvaged and re-dispatched
-  under ``<user>#r<attempt>`` record keys with their learning migrated;
-  the retry budget bounds the attempts; the ``failed``/``retried`` ledger
-  reconciles with ``admitted``; the drain tail is fault-free.
+  under ``<user>#r<attempt>`` record keys with their learning migrated
+  (resuming from the last checkpoint when checkpointing is on); the retry
+  budget bounds the attempts; the ``failed``/``retried`` ledger reconciles
+  with ``admitted``; the drain tail is fault-free; raw user ids that could
+  collide with the reserved retry-key marker are rejected at intake.
 * **Brownout-aware autoscaling** — a sustained brownout level produces
   exactly one appropriately-sized scale-up (no flapping) and freezes
   scale-downs until the level clears.
@@ -29,8 +36,12 @@ from repro.cluster import (
     CapacityThreshold,
     ClusterOrchestrator,
     ClusterSnapshot,
+    FailureAware,
+    FailureTopology,
     FaultConfig,
     FaultInjector,
+    KillEntry,
+    KillSchedule,
     PoissonTraffic,
     ReactiveThreshold,
     ServerSnapshot,
@@ -40,7 +51,7 @@ from repro.core.persistence import snapshot_controller
 from repro.errors import ClusterError
 from repro.manager.factories import static_factory
 from repro.metrics.cluster import ClusterSummary
-from repro.telemetry import TelemetryConfig
+from repro.telemetry import QueueWaitObjective, TelemetryConfig
 from repro.telemetry.trace import TERMINAL_KINDS, ListTraceSink
 
 
@@ -62,6 +73,8 @@ def run_cluster(
     max_servers=8,
     provision_warmup_steps=2,
     trace=False,
+    dispatcher=None,
+    slo=None,
 ):
     if fault_seed is not None and faults is not None:
         faults = dataclasses.replace(faults, seed=fault_seed)
@@ -76,6 +89,7 @@ def run_cluster(
         servers,
         workload,
         admission=CapacityThreshold(max_sessions_per_server=3, max_queue=6),
+        dispatcher=dispatcher,
         controller_factory=controller_factory,
         seed=seed,
         engine=engine,
@@ -86,7 +100,9 @@ def run_cluster(
         faults=faults,
     )
     sink = ListTraceSink() if trace else None
-    telemetry = TelemetryConfig(trace_sink=sink) if trace else None
+    telemetry = None
+    if trace or slo:
+        telemetry = TelemetryConfig(trace_sink=sink, slo=slo or ())
     result = cluster.run(duration, telemetry=telemetry)
     return cluster, result, sink
 
@@ -105,6 +121,41 @@ MIXED_FAULTS = FaultConfig(
 CRASH_ONLY = FaultConfig(
     crash_mtbf_steps=25.0, crash_mttr_steps=5.0, max_retries=3,
     retry_backoff_steps=1, seed=9,
+)
+
+ZONAL_TOPOLOGY = FailureTopology(zones=3, racks_per_zone=2, seed=7)
+
+# Pinned declarative schedules: the exact zones die at the exact steps.
+ZONAL_KILL_A = FaultConfig(
+    max_retries=3,
+    retry_backoff_steps=1,
+    seed=7,
+    topology=ZONAL_TOPOLOGY,
+    kill_schedule=KillSchedule((KillEntry(zone=1, step=6, duration=8),)),
+    checkpoint_interval_frames=4,
+)
+
+ZONAL_KILL_B = FaultConfig(
+    crash_mtbf_steps=40.0,
+    crash_mttr_steps=6.0,
+    max_retries=2,
+    retry_backoff_steps=1,
+    seed=11,
+    topology=ZONAL_TOPOLOGY,
+    kill_schedule=KillSchedule(
+        (KillEntry(zone=0, step=5, duration=4), KillEntry(zone=2, step=12, duration=6))
+    ),
+)
+
+# Randomized correlated outages: zones die on MTBF-drawn schedules.
+ZONAL_RANDOM = FaultConfig(
+    max_retries=3,
+    retry_backoff_steps=1,
+    seed=13,
+    topology=ZONAL_TOPOLOGY,
+    zone_mtbf_steps=30.0,
+    zone_mttr_steps=5.0,
+    checkpoint_interval_frames=4,
 )
 
 
@@ -230,6 +281,114 @@ class TestEngineEquivalence:
         assert ra == rb
 
 
+class TestDomainEquivalence:
+    """Scalar/batch equality under correlated zone outages and checkpoints."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [ZONAL_KILL_A, ZONAL_KILL_B],
+        ids=["single-zone-checkpointed", "two-zones-plus-crashes"],
+    )
+    def test_pinned_kill_schedules(self, config):
+        # A declarative zonal kill on a 6-server/3-zone fleet with
+        # failure-aware routing: full results, span streams and Q-tables
+        # must match bitwise across engines.
+        ca, ra, sa = run_cluster(
+            "scalar", faults=config, servers=6,
+            dispatcher=FailureAware(), trace=True,
+        )
+        cb, rb, sb = run_cluster(
+            "batch", faults=config, servers=6,
+            dispatcher=FailureAware(), trace=True,
+        )
+        assert_identical(ra, rb)
+        assert sa.spans == sb.spans
+        assert controller_states(ca) == controller_states(cb)
+        kinds = {event.kind for event in ra.fault_events}
+        assert "zone_outage" in kinds
+        assert "crash" in kinds
+
+    def test_randomized_zonal_schedule(self):
+        ca, ra, sa = run_cluster(
+            "scalar", faults=ZONAL_RANDOM, servers=6,
+            dispatcher=FailureAware(), rate=0.7, trace=True,
+        )
+        cb, rb, sb = run_cluster(
+            "batch", faults=ZONAL_RANDOM, servers=6,
+            dispatcher=FailureAware(), rate=0.7, trace=True,
+        )
+        assert_identical(ra, rb)
+        assert sa.spans == sb.spans
+        assert controller_states(ca) == controller_states(cb)
+        assert any(e.kind == "zone_outage" for e in ra.fault_events)
+
+    def test_domain_ledger_is_populated(self):
+        _, result, _ = run_cluster(
+            "batch", faults=ZONAL_KILL_A, servers=6, dispatcher=FailureAware(),
+        )
+        summary = result.summary()
+        assert summary.failed_domains == sum(
+            1 for e in result.fault_events if e.kind == "zone_outage"
+        )
+        assert summary.failed_domains >= 1
+        assert summary.mean_available_domains > 0
+        assert any(s.available_domains < 3 for s in result.fleet_trace)
+        # Crash events carry the failure domain of the server they hit.
+        crashes = [e for e in result.fault_events if e.kind == "crash"]
+        assert crashes
+        assert all(e.zone is not None and e.rack is not None for e in crashes)
+        # Zone-level events name the zone, not a server.
+        outages = [e for e in result.fault_events if e.kind == "zone_outage"]
+        assert all(e.server == -1 and e.zone == 1 for e in outages)
+
+
+class TestScheduleIsolation:
+    """The fault schedule is a function of the fault seed, nothing else."""
+
+    @staticmethod
+    def _zone_schedule(result):
+        # (step, zone, drawn downtime) — the victim count in the detail is
+        # membership-dependent by design, the drawn schedule is not.
+        return [
+            (e.step, e.zone, e.detail.rsplit(" down ", 1)[-1])
+            for e in result.fault_events
+            if e.kind == "zone_outage"
+        ]
+
+    def test_telemetry_does_not_perturb_schedule(self):
+        _, plain, _ = run_cluster("batch", faults=ZONAL_RANDOM, servers=6)
+        _, traced, _ = run_cluster(
+            "batch", faults=ZONAL_RANDOM, servers=6, trace=True,
+        )
+        assert_identical(plain, traced)
+
+    def test_slo_does_not_perturb_schedule(self):
+        _, plain, _ = run_cluster("batch", faults=ZONAL_RANDOM, servers=6)
+        _, observed, _ = run_cluster(
+            "batch", faults=ZONAL_RANDOM, servers=6,
+            slo=(QueueWaitObjective(name="wait", window_steps=8),),
+        )
+        assert_identical(plain, observed)
+
+    def test_autoscale_resize_does_not_perturb_zone_schedule(self):
+        # Zone outage draws happen once per zone per step regardless of
+        # fleet membership, so commissioning servers mid-run must not move
+        # a single outage.  (Per-server *consequences* legitimately differ
+        # — the drawn zone schedule must not.)
+        _, fixed, _ = run_cluster(
+            "batch", faults=ZONAL_RANDOM, servers=6, rate=1.2,
+        )
+        _, elastic, _ = run_cluster(
+            "batch", faults=ZONAL_RANDOM, servers=6, rate=1.2,
+            autoscaler=ReactiveThreshold(
+                sessions_per_server=3, scale_down_cooldown_steps=8
+            ),
+            max_servers=10,
+        )
+        assert any(e.direction == "up" for e in elastic.scaling_events)
+        assert self._zone_schedule(fixed) == self._zone_schedule(elastic)
+
+
 class TestRecoverySemantics:
     def test_migrated_sessions_and_ledger(self):
         _, result, sink = run_cluster("batch", faults=CRASH_ONLY, trace=True)
@@ -323,6 +482,60 @@ class TestRecoverySemantics:
         # Failed provisions never served: their record maps are empty.
         for event in failures:
             assert result.records_by_server[event.server] == {}
+
+
+class _TaintedWorkload:
+    """Wraps a generator, stamping a colliding user id on every arrival."""
+
+    def __init__(self, inner, user_id):
+        self._inner = inner
+        self._user_id = user_id
+        self._count = 0
+
+    @property
+    def consumed(self):
+        return self._inner.consumed
+
+    def arrivals(self, step):
+        for event in self._inner.arrivals(step):
+            user_id = f"{self._user_id}.{self._count}"
+            self._count += 1
+            request = dataclasses.replace(event.request, user_id=user_id)
+            yield dataclasses.replace(event, request=request)
+
+
+class TestRetryKeyGuard:
+    """Raw user ids must not collide with ``<user>#r<attempt>`` retry keys."""
+
+    @staticmethod
+    def _cluster(user_id, faults):
+        workload = _TaintedWorkload(
+            WorkloadGenerator(
+                PoissonTraffic(2.0), seed=1, playlist_videos=1, frames_per_video=4
+            ),
+            user_id,
+        )
+        return ClusterOrchestrator(
+            2,
+            workload,
+            admission=CapacityThreshold(max_sessions_per_server=3, max_queue=6),
+            seed=1,
+            faults=faults,
+        )
+
+    def test_marker_in_user_id_rejected_at_intake(self):
+        # "mallory#r2" would collide with retry attempt 2 of user "mallory"
+        # in the per-server record maps — refuse it before it can.
+        cluster = self._cluster("mallory#r2", CRASH_ONLY)
+        with pytest.raises(ClusterError, match="#r"):
+            cluster.run(10)
+
+    def test_marker_allowed_when_faults_disabled(self):
+        # Without fault injection no retry keys exist, so nothing collides;
+        # the pre-fault behavior (any user id) is preserved.
+        cluster = self._cluster("mallory#r2", None)
+        result = cluster.run(6)
+        assert result.admitted > 0
 
 
 class TestBrownoutAwareAutoscaling:

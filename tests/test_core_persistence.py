@@ -13,9 +13,12 @@ from repro.core.persistence import (
     load_snapshot,
     restore_agent,
     restore_agents,
+    restore_session_state,
     save_snapshot,
     snapshot_agent,
     snapshot_agents,
+    snapshot_controller,
+    snapshot_session,
 )
 from repro.core.states import SystemState
 from repro.errors import LearningError
@@ -127,3 +130,53 @@ class TestRestoreRebuildsCaches:
         assert target.min_action_count() == source.min_action_count() == 1
         assert target.max_state_count(state) == source.max_state_count(state)
         assert target.phase(state, [3, 3]) is source.phase(state, [3, 3])
+
+
+class _SessionStub:
+    """The duck type :func:`snapshot_session` reads: progress + controller."""
+
+    def __init__(self, controller, frame_index, video_index=0):
+        self.controller = controller
+        self.frame_index = frame_index
+        self.video_index = video_index
+
+
+class TestSessionSnapshot:
+    def _trained(self, hr_request, seed=0):
+        controller = MamutController(MamutConfig.for_request(hr_request, seed=seed))
+        controller.decide(0, None)
+        for frame in range(1, 120):
+            controller.decide(
+                frame,
+                Observation(fps=25.0, psnr_db=36.0, bitrate_mbps=4.0, power_w=80.0),
+            )
+        return controller
+
+    @pytest.mark.parametrize(
+        "frame,interval,resume",
+        [(11, 4, 8), (12, 4, 12), (3, 4, 0), (11, None, 0), (0, 4, 0)],
+    )
+    def test_resume_frame_floors_to_the_interval(
+        self, hr_request, frame, interval, resume
+    ):
+        session = _SessionStub(self._trained(hr_request), frame_index=frame)
+        snapshot = snapshot_session(session, checkpoint_interval=interval)
+        assert snapshot["resume_frame"] == resume
+        assert snapshot["recomputed_frames"] == frame - resume
+        assert snapshot["video_index"] == 0
+
+    def test_restore_rehydrates_learned_state(self, hr_request):
+        source = self._trained(hr_request)
+        snapshot = snapshot_session(
+            _SessionStub(source, frame_index=9, video_index=1),
+            checkpoint_interval=4,
+        )
+        target = MamutController(MamutConfig.for_request(hr_request, seed=99))
+        assert restore_session_state(target, snapshot)
+        assert snapshot_controller(target) == snapshot_controller(source)
+
+    def test_restore_of_none_is_a_noop(self, hr_request):
+        target = MamutController(MamutConfig.for_request(hr_request, seed=1))
+        before = snapshot_controller(target)
+        assert not restore_session_state(target, None)
+        assert snapshot_controller(target) == before

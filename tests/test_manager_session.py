@@ -28,7 +28,9 @@ class _CountingController(Controller):
         self.resets += 1
 
 
-def make_session(num_frames=8, playlist_videos=1, controller=None) -> TranscodingSession:
+def make_session(
+    num_frames=8, playlist_videos=1, controller=None, start_frame_index=0
+) -> TranscodingSession:
     videos = [
         make_sequence("Kimono", num_frames=num_frames, seed=i) for i in range(playlist_videos)
     ]
@@ -37,6 +39,7 @@ def make_session(num_frames=8, playlist_videos=1, controller=None) -> Transcodin
         request=request,
         controller=controller if controller is not None else StaticController(32, 4, 3.2),
         playlist=videos,
+        start_frame_index=start_frame_index,
     )
 
 
@@ -108,6 +111,39 @@ class TestPlaylist:
         request = TranscodingRequest(user_id="u0", sequence=video)
         with pytest.raises(ScenarioError):
             TranscodingSession(request, StaticController(32, 4, 3.2), playlist=[])
+
+
+class TestCheckpointResume:
+    """``start_frame_index`` — how checkpointed sessions rejoin a fleet."""
+
+    def test_resumes_mid_video(self):
+        session = make_session(num_frames=8, start_frame_index=5)
+        assert session.frame_index == 5
+        # Only the remaining frames of the interrupted video are processed.
+        records = []
+        while session.active:
+            session.prepare()
+            records.append(session.execute(1.0, 75.0))
+        assert [r.frame_index for r in records] == [5, 6, 7]
+
+    def test_resume_spans_playlist_boundary(self):
+        controller = _CountingController()
+        session = make_session(
+            num_frames=4, playlist_videos=2, controller=controller,
+            start_frame_index=2,
+        )
+        while session.active:
+            session.prepare()
+            session.execute(1.0, 75.0)
+        # Frames 2-3 of the interrupted video, then all of the next one.
+        assert controller.frames_seen == [0, 1, 2, 3, 4, 5]
+        assert controller.resets == 1
+
+    def test_start_frame_must_be_inside_first_video(self):
+        with pytest.raises(ScenarioError):
+            make_session(num_frames=8, start_frame_index=8)
+        with pytest.raises(ScenarioError):
+            make_session(num_frames=8, start_frame_index=-1)
 
 
 class TestPresets:

@@ -242,3 +242,24 @@ class TestSummarySerialization:
         data["servers"][0]["favourite_colour"] = "green"
         summary = ClusterSummary.from_dict(data)
         assert summary == self.summarize()
+
+    def test_pre_domain_payloads_still_load(self):
+        """Summary artifacts written before failure domains existed load
+        with the domain/checkpoint ledger at its zero defaults, so
+        ``repro obs compare`` keeps working against archived baselines."""
+        data = self.summarize().to_dict()
+        for key in (
+            "failed_domains",
+            "recomputed_frames",
+            "checkpoint_writes",
+            "checkpoint_energy_j",
+            "mean_available_domains",
+        ):
+            data.pop(key)
+        summary = ClusterSummary.from_dict(data)
+        assert summary == self.summarize()
+        assert summary.failed_domains == 0
+        assert summary.recomputed_frames == 0
+        assert summary.checkpoint_writes == 0
+        assert summary.checkpoint_energy_j == 0.0
+        assert summary.mean_available_domains == 0.0
